@@ -1,0 +1,90 @@
+"""E7 — Ablation: OPF solver backends.
+
+DESIGN.md's recovery ladder rests on the backends agreeing where they
+overlap and on the PDIPM being the fast path.  Compares the MIPS-style
+interior point, the scipy trust-constr fallback (small cases — it is
+orders of magnitude slower), and the DCOPF LP baseline.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _report import emit, fmt_row
+
+from repro.grid.cases import load_case
+from repro.opf import solve_acopf, solve_acopf_scipy, solve_dcopf
+
+CASES_IPM = ("ieee14", "ieee30", "ieee57", "ieee118", "ieee300")
+CASES_SCIPY = ("ieee14",)  # trust-constr is O(minutes) beyond ~30 buses
+
+
+def _run_backends():
+    rows = []
+    for name in CASES_IPM:
+        net = load_case(name)
+        t0 = time.perf_counter()
+        ipm = solve_acopf(net)
+        t_ipm = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        dc = solve_dcopf(net)
+        t_dc = time.perf_counter() - t0
+
+        row = {
+            "case": name,
+            "ipm_obj": ipm.objective_cost,
+            "ipm_s": t_ipm,
+            "ipm_ok": ipm.converged,
+            "dc_obj": dc.objective_cost,
+            "dc_s": t_dc,
+            "dc_ok": dc.converged,
+            "scipy_obj": None,
+            "scipy_s": None,
+        }
+        if name in CASES_SCIPY:
+            t0 = time.perf_counter()
+            sp = solve_acopf_scipy(net)
+            row["scipy_obj"] = sp.objective_cost
+            row["scipy_s"] = time.perf_counter() - t0
+            row["scipy_ok"] = sp.converged
+        rows.append(row)
+    return rows
+
+
+def test_ablation_opf_backends(benchmark):
+    rows = benchmark.pedantic(_run_backends, rounds=1, iterations=1)
+
+    widths = [10, -12, -7, -12, -7, -12, -7]
+    lines = [
+        fmt_row(["Case", "IPM $/h", "s", "DCOPF $/h", "s", "scipy $/h", "s"], widths),
+        "-" * 72,
+    ]
+    for r in rows:
+        lines.append(
+            fmt_row(
+                [
+                    r["case"],
+                    f"{r['ipm_obj']:.0f}",
+                    r["ipm_s"],
+                    f"{r['dc_obj']:.0f}",
+                    r["dc_s"],
+                    f"{r['scipy_obj']:.0f}" if r["scipy_obj"] else "-",
+                    r["scipy_s"] if r["scipy_s"] else "-",
+                ],
+                widths,
+            )
+        )
+    emit("ablation_opf_backends", "E7 — OPF backend comparison", lines)
+
+    for r in rows:
+        assert r["ipm_ok"] and r["dc_ok"]
+        # Lossless DC is cheaper but in the same ballpark (<15 % gap).
+        assert r["dc_obj"] < r["ipm_obj"]
+        assert r["dc_obj"] > 0.8 * r["ipm_obj"]
+    # Cross-backend agreement on the genuine IEEE 14 data.
+    r14 = rows[0]
+    assert abs(r14["scipy_obj"] - r14["ipm_obj"]) / r14["ipm_obj"] < 1e-3

@@ -1,0 +1,74 @@
+"""E1 + E9 — Figure 3 (left): ACOPF-agent success rate by model.
+
+Paper: all six models achieve 100 % success on "Solve IEEE 118" because
+function calling delegates the numerics to the deterministic solver.
+The harness issues the same request 5 times per model through fresh
+sessions and reports the success rate plus the latency/accuracy
+trade-off (E9: smaller models equal accuracy at lower latency).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _report import emit, fmt_row
+
+from repro.core.session import GridMindSession
+
+RUNS = 5
+CASE_REQUEST = "Solve IEEE 118"
+
+
+def _run_all(paper_models) -> dict[str, dict]:
+    results: dict[str, dict] = {}
+    for model in paper_models:
+        times = []
+        successes = 0
+        slips = 0
+        for run in range(RUNS):
+            session = GridMindSession(model=model, seed=run)
+            session.ask(CASE_REQUEST)
+            rec = session.last_record
+            successes += int(rec.success and rec.factual_slips == 0)
+            slips += rec.factual_slips
+            times.append(rec.total_s)
+        results[model] = {
+            "success_rate": 100.0 * successes / RUNS,
+            "times": times,
+            "slips": slips,
+        }
+    return results
+
+
+def test_fig3_left_success_rate(benchmark, paper_models):
+    results = benchmark.pedantic(
+        _run_all, args=(paper_models,), rounds=1, iterations=1
+    )
+
+    widths = [18, -12, -12, -10]
+    lines = [
+        fmt_row(["Model", "Paper %", "Measured %", "Slips"], widths),
+        "-" * 60,
+    ]
+    for model in paper_models:
+        lines.append(
+            fmt_row(
+                [model, 100.0, results[model]["success_rate"], results[model]["slips"]],
+                widths,
+            )
+        )
+    lines.append("")
+    lines.append(
+        "E9 latency/accuracy trade-off: mean total seconds per request "
+        "(accuracy identical across models)"
+    )
+    for model in paper_models:
+        times = results[model]["times"]
+        lines.append(f"  {model:18s} {sum(times)/len(times):6.1f} s")
+    emit("fig3_left_success_rate", "Fig. 3 (left) — success rate by model", lines)
+
+    # Reproduction assertion: the paper's 100 % row must hold.
+    for model in paper_models:
+        assert results[model]["success_rate"] == 100.0

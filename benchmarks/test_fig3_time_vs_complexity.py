@@ -1,0 +1,84 @@
+"""E3 — Figure 3 (right): execution time vs case complexity.
+
+Paper: across IEEE 14/30/57/118/300 there is "no significant trend" of
+total time with case size — LLM latency dominates, and only the solver
+share grows with the network.  The harness solves each case once per
+model and decomposes total time into LLM latency and solver compute.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _report import emit, fmt_row
+
+from repro.core.session import GridMindSession
+
+CASES = ("ieee14", "ieee30", "ieee57", "ieee118", "ieee300")
+
+
+def _sweep(paper_models):
+    rows = []
+    for case in CASES:
+        for model in paper_models:
+            session = GridMindSession(model=model, seed=5)
+            session.ask(f"Solve {case}")
+            rec = session.last_record
+            rows.append(
+                {
+                    "case": case,
+                    "model": model,
+                    "total_s": rec.total_s,
+                    "llm_s": rec.latency_virtual_s,
+                    "solver_s": rec.wall_s,
+                    "success": rec.success,
+                }
+            )
+    return rows
+
+
+def test_fig3_right_time_vs_complexity(benchmark, paper_models):
+    rows = benchmark.pedantic(_sweep, args=(paper_models,), rounds=1, iterations=1)
+
+    widths = [10, 18, -9, -9, -10]
+    lines = [
+        fmt_row(["Case", "Model", "total s", "llm s", "solver s"], widths),
+        "-" * 64,
+    ]
+    for r in rows:
+        lines.append(
+            fmt_row(
+                [r["case"], r["model"], r["total_s"], r["llm_s"], r["solver_s"]],
+                widths,
+            )
+        )
+
+    # Trend statistic: correlation of total time with case size per model
+    # should be weak (LLM-dominated), while solver time clearly grows.
+    sizes = {c: int(c.replace("ieee", "")) for c in CASES}
+    lines.append("")
+    for model in paper_models:
+        sub = [r for r in rows if r["model"] == model]
+        x = np.array([sizes[r["case"]] for r in sub], dtype=float)
+        total = np.array([r["total_s"] for r in sub])
+        share = np.array([r["solver_s"] for r in sub]) / total
+        corr = float(np.corrcoef(x, total)[0, 1])
+        lines.append(
+            f"  {model:18s} corr(size, total time) = {corr:+.2f}; "
+            f"solver share {share.min()*100:.0f}%..{share.max()*100:.0f}%"
+        )
+    emit(
+        "fig3_right_time_vs_complexity",
+        "Fig. 3 (right) — execution time vs case complexity",
+        lines,
+    )
+
+    assert all(r["success"] for r in rows)
+    # Paper shape: solver compute is a minority share of total time even
+    # on the 300-bus system for the slower models.
+    slow = [r for r in rows if r["model"] == "gpt-5" and r["case"] == "ieee300"]
+    assert slow[0]["solver_s"] < 0.5 * slow[0]["total_s"]

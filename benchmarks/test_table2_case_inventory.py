@@ -1,0 +1,48 @@
+"""E5 — Table 2: supported IEEE test cases and component counts.
+
+The registry must reproduce the paper's inventory exactly: bus, gen,
+load, AC-line, and transformer counts for all five systems.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _report import emit, fmt_row
+
+from repro.grid.cases import TABLE2_COUNTS, case_inventory
+
+PAPER_TABLE2 = {
+    "ieee14": (14, 5, 11, 17, 3),
+    "ieee30": (30, 6, 21, 41, 4),
+    "ieee57": (57, 7, 42, 63, 17),
+    "ieee118": (118, 54, 99, 175, 11),
+    "ieee300": (300, 68, 193, 283, 128),
+}
+
+
+def test_table2_case_inventory(benchmark):
+    inventory = benchmark(case_inventory)
+
+    widths = [10, -5, -5, -6, -8, -13, -8]
+    lines = [
+        fmt_row(["Case", "Bus", "Gen", "Load", "AC line", "Transformers", "Match"],
+                widths),
+        "-" * 66,
+    ]
+    ok = True
+    for row in inventory:
+        name = row["case"]
+        measured = (row["bus"], row["gen"], row["load"], row["ac_line"],
+                    row["transformer"])
+        match = measured == PAPER_TABLE2[name]
+        ok &= match
+        lines.append(
+            fmt_row([name, *measured, "yes" if match else "NO"], widths)
+        )
+    emit("table2_case_inventory", "Table 2 — test cases", lines)
+
+    assert ok, "component counts must equal the paper's Table 2"
+    assert PAPER_TABLE2 == TABLE2_COUNTS

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Contingency screening at scale: full AC N-1 vs LODF-accelerated.
+
+Production contingency analysis rarely runs the full AC sweep — it
+screens with linear sensitivities (PTDF/LODF) and verifies only the
+dangerous slice with AC power flows.  This example runs both paths on
+the 118-bus system, compares wall time and ranking agreement, and prints
+the critical-element report with reinforcement recommendations
+(paper Section 3.2.3's output, produced by the core library directly).
+
+Run:  python examples/contingency_screening.py [case] [ac_budget]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import load_case
+from repro.contingency import (
+    rank_critical_elements,
+    run_n_minus_1,
+    run_screened_n_minus_1,
+)
+
+
+def main() -> None:
+    case = sys.argv[1] if len(sys.argv) > 1 else "ieee118"
+    budget = int(sys.argv[2]) if len(sys.argv) > 2 else 25
+    net = load_case(case)
+    print(f"case: {case} — {net.n_branch} branches to outage\n")
+
+    t0 = time.perf_counter()
+    full = run_n_minus_1(net)
+    t_full = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    screened, estimate = run_screened_n_minus_1(net, ac_budget=budget)
+    t_screen = time.perf_counter() - t0
+
+    print(f"full AC sweep     : {full.n_contingencies:4d} AC solves, "
+          f"{t_full:6.2f}s, {full.n_violations} outages with violations")
+    print(f"LODF + AC verify  : {screened.n_contingencies:4d} AC solves, "
+          f"{t_screen:6.2f}s (screen itself {estimate.runtime_s*1000:.0f} ms) "
+          f"-> {t_full / max(t_screen, 1e-9):.1f}x speedup")
+
+    rank_full = rank_critical_elements(full, top_n=5)
+    rank_screen = rank_critical_elements(screened, top_n=5)
+    agree = len(
+        set(rank_full.critical_branch_ids) & set(rank_screen.critical_branch_ids)
+    )
+    print(f"top-5 agreement   : {agree}/5 "
+          f"(full={rank_full.critical_branch_ids}, "
+          f"screened={rank_screen.critical_branch_ids})\n")
+
+    print("critical-element report (full sweep):")
+    for r in rank_full.ranked:
+        print(f"  {r.rank}. {r.justification}")
+    print("\nrecommendations:")
+    for rec in rank_full.recommendations:
+        print(f"  - {rec}")
+
+
+if __name__ == "__main__":
+    main()

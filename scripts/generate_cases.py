@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Regenerate the calibrated synthetic case snapshots.
+
+The synthetic IEEE 30/57/118/300 equivalents are deterministic but
+expensive to calibrate (the generator runs repeated N-1 sweeps); this
+script bakes them into ``src/repro/grid/cases/data/*.json`` so ordinary
+users pay ~50 ms instead of ~2 minutes.  Run after any change to
+``repro.grid.cases.synthetic``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.grid.cases.registry import TABLE2_COUNTS, generate_synthetic_case
+from repro.grid.io import save_json
+
+DATA_DIR = Path(__file__).resolve().parents[1] / "src/repro/grid/cases/data"
+
+
+def main() -> None:
+    DATA_DIR.mkdir(exist_ok=True)
+    for name in TABLE2_COUNTS:
+        if name == "ieee14":  # genuine data, never snapshotted
+            continue
+        t0 = time.perf_counter()
+        net = generate_synthetic_case(name)
+        path = DATA_DIR / f"{name}.json"
+        save_json(net, path)
+        print(
+            f"{name}: generated in {time.perf_counter() - t0:.1f}s -> {path} "
+            f"({net.summary()})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+The execution environment is offline with setuptools 65 and no ``wheel``
+package, which breaks PEP-517 editable installs; this shim lets
+``pip install -e .`` fall back to ``setup.py develop``.  All metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

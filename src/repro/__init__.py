@@ -1,0 +1,34 @@
+"""GridMind reproduction: LLM-powered agents for power system analysis.
+
+Public API layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.grid` — network model and IEEE-style case library,
+* :mod:`repro.powerflow` — AC/DC power-flow solvers,
+* :mod:`repro.opf` — ACOPF (interior point) and DCOPF,
+* :mod:`repro.contingency` — N-1 engine, screening, ranking,
+* :mod:`repro.llm` — simulated LLM backend with paper model profiles,
+* :mod:`repro.core` — agents, tools, shared context, conversational session.
+
+Quickstart::
+
+    from repro import GridMindSession
+    session = GridMindSession(model="gpt-5-mini")
+    print(session.ask("Solve the IEEE 14 bus case").text)
+"""
+
+__version__ = "1.0.0"
+
+from .grid.cases import load_case
+
+
+def __getattr__(name: str):
+    # Lazy import: keeps `import repro` light and avoids import cycles for
+    # users who only need the numerical substrate.
+    if name == "GridMindSession":
+        from .core.session import GridMindSession
+
+        return GridMindSession
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+__all__ = ["GridMindSession", "load_case", "__version__"]

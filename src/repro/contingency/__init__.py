@@ -1,0 +1,41 @@
+"""N-1 contingency analysis engine (DESIGN.md S6).
+
+``run_n_minus_1`` is the exhaustive AC sweep; ``run_screened_n_minus_1``
+the LODF-accelerated two-stage variant; ``rank_critical_elements`` turns a
+sweep into the ranked critical-element report the CA agent narrates.
+"""
+
+from .cache import CacheKey, ContingencyCache, network_content_hash
+from .lodf import SensitivityFactors, compute_factors, compute_ptdf, post_outage_flows
+from .nminus1 import NMinus1Report, analyze_single_outage, run_n_minus_1
+from .outcomes import (
+    BALANCED_WEIGHTS,
+    THERMAL_WEIGHTS,
+    ContingencyOutcome,
+    SeverityWeights,
+)
+from .ranking import CriticalElementReport, RankedContingency, rank_critical_elements
+from .screening import ScreeningEstimate, run_screened_n_minus_1, screen_dc
+
+__all__ = [
+    "BALANCED_WEIGHTS",
+    "THERMAL_WEIGHTS",
+    "CacheKey",
+    "ContingencyCache",
+    "ContingencyOutcome",
+    "CriticalElementReport",
+    "NMinus1Report",
+    "RankedContingency",
+    "ScreeningEstimate",
+    "SensitivityFactors",
+    "SeverityWeights",
+    "analyze_single_outage",
+    "compute_factors",
+    "compute_ptdf",
+    "network_content_hash",
+    "post_outage_flows",
+    "rank_critical_elements",
+    "run_n_minus_1",
+    "run_screened_n_minus_1",
+    "screen_dc",
+]

@@ -1,0 +1,128 @@
+"""Contingency outcome records and severity metrics.
+
+Severity scoring follows the paper's Section 3.2.3 evidence model: clusters
+of thermal overloads (110-115 %+ ratings), voltage excursions below
+0.94 p.u., and load curtailment all raise criticality; islanding and
+non-convergence dominate everything else.  The weights are explicit so the
+simulated model profiles can rank with *different emphases* — that is what
+reproduces Table 1's GPT-5-Mini divergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SeverityWeights:
+    """Relative emphasis of the evidence classes in the criticality score."""
+
+    thermal: float = 10.0  # per 100 % of cumulative overload excess
+    voltage: float = 300.0  # per p.u. of cumulative band violation
+    curtailment: float = 0.05  # per MW of estimated load shed
+    islanding_base: float = 1000.0
+    divergence: float = 500.0
+
+    def describe(self) -> str:
+        return (
+            f"thermal x{self.thermal:g}, voltage x{self.voltage:g}, "
+            f"curtailment x{self.curtailment:g}/MW"
+        )
+
+
+#: Default "balanced" weighting used by most model profiles.
+BALANCED_WEIGHTS = SeverityWeights()
+
+#: Thermal-dominated weighting (the GPT-5-Mini profile's emphasis).
+THERMAL_WEIGHTS = SeverityWeights(thermal=18.0, voltage=120.0, curtailment=0.02)
+
+
+@dataclass
+class ContingencyOutcome:
+    """Post-outage state of the system for a single N-1 contingency."""
+
+    branch_id: int
+    branch_name: str
+    from_bus: int
+    to_bus: int
+    is_transformer: bool
+    converged: bool
+    islanded: bool = False
+    stranded_load_mw: float = 0.0
+    max_loading_percent: float = 0.0
+    overloads: list[tuple[int, float]] = field(default_factory=list)
+    min_voltage_pu: float = 1.0
+    max_voltage_pu: float = 1.0
+    voltage_violations: list[tuple[int, float]] = field(default_factory=list)
+    estimated_curtailment_mw: float = 0.0
+    solve_time_s: float = 0.0
+    method: str = "newton"
+    message: str = ""
+
+    @property
+    def n_overloads(self) -> int:
+        return len(self.overloads)
+
+    @property
+    def n_voltage_violations(self) -> int:
+        return len(self.voltage_violations)
+
+    @property
+    def has_violations(self) -> bool:
+        return (
+            self.islanded
+            or not self.converged
+            or bool(self.overloads)
+            or bool(self.voltage_violations)
+        )
+
+    def severity(self, weights: SeverityWeights = BALANCED_WEIGHTS) -> float:
+        """Scalar criticality score under the given evidence weighting."""
+        if self.islanded:
+            if self.stranded_load_mw <= 1e-6:
+                # Splitting off a load-free island (e.g. a radial generator
+                # stub) is an operational nuisance, not a load-loss event —
+                # it ranks below any genuine overload.
+                return 0.003 * weights.islanding_base
+            return weights.islanding_base + weights.curtailment * self.stranded_load_mw * 10
+        if not self.converged:
+            return weights.divergence
+        thermal_excess = sum(max(0.0, pct - 100.0) / 100.0 for _, pct in self.overloads)
+        volt_excess = sum(
+            max(0.0, 0.94 - vm) + max(0.0, vm - 1.06)
+            for _, vm in self.voltage_violations
+        )
+        return (
+            weights.thermal * thermal_excess
+            + weights.voltage * volt_excess
+            + weights.curtailment * self.estimated_curtailment_mw
+        )
+
+    def summary_line(self) -> str:
+        """One-line human narration of the outcome."""
+        label = f"{'transformer' if self.is_transformer else 'line'} " \
+                f"{self.from_bus}-{self.to_bus} (branch {self.branch_id})"
+        if self.islanded:
+            return (
+                f"Outage of {label} islands part of the system, stranding "
+                f"{self.stranded_load_mw:.1f} MW of load."
+            )
+        if not self.converged:
+            return (
+                f"Outage of {label}: post-contingency power flow diverged — "
+                "likely voltage instability."
+            )
+        bits = []
+        if self.overloads:
+            worst = ", ".join(f"{pct:.0f}%" for _, pct in self.overloads[:3])
+            bits.append(f"{len(self.overloads)} overload(s) (worst {worst})")
+        if self.voltage_violations:
+            bits.append(
+                f"{len(self.voltage_violations)} voltage violation(s), "
+                f"min {self.min_voltage_pu:.3f} pu"
+            )
+        if self.estimated_curtailment_mw > 0.1:
+            bits.append(f"~{self.estimated_curtailment_mw:.0f} MW curtailment exposure")
+        if not bits:
+            return f"Outage of {label} is secure (max loading {self.max_loading_percent:.0f}%)."
+        return f"Outage of {label} causes " + "; ".join(bits) + "."

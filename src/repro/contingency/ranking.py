@@ -1,0 +1,173 @@
+"""Critical-element identification: ranked contingencies with auditable
+justifications.
+
+This is the numerical half of the paper's Section 3.2.3 — the LLM layer
+narrates, but every ranking decision is computed here from structured
+solver outputs: severity scores, overload clusters, voltage excursions,
+and recurring-bottleneck statistics, each traceable to a
+:class:`ContingencyOutcome`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from .nminus1 import NMinus1Report
+from .outcomes import BALANCED_WEIGHTS, ContingencyOutcome, SeverityWeights
+
+
+@dataclass
+class RankedContingency:
+    rank: int
+    outcome: ContingencyOutcome
+    severity: float
+    justification: str
+
+
+@dataclass
+class CriticalElementReport:
+    """Ranked criticality plus corridor-level diagnostics."""
+
+    case_name: str
+    ranked: list[RankedContingency]
+    weights: SeverityWeights
+    recurring_bottlenecks: list[tuple[int, int]] = field(default_factory=list)
+    recommendations: list[str] = field(default_factory=list)
+
+    @property
+    def critical_branch_ids(self) -> list[int]:
+        return [r.outcome.branch_id for r in self.ranked]
+
+    @property
+    def max_overload_percent(self) -> float:
+        vals = [
+            r.outcome.max_loading_percent
+            for r in self.ranked
+            if r.outcome.converged and not r.outcome.islanded
+        ]
+        return max(vals) if vals else 0.0
+
+
+def rank_critical_elements(
+    report: NMinus1Report,
+    *,
+    top_n: int = 5,
+    weights: SeverityWeights = BALANCED_WEIGHTS,
+    include_islanding: bool = True,
+    metric: str = "severity",
+) -> CriticalElementReport:
+    """Rank outages and build evidence-based justifications.
+
+    ``metric`` selects the analytical approach:
+
+    * ``"severity"`` (default) — composite evidence score: overload
+      clusters, voltage excursions, curtailment, islanding.
+    * ``"peak_overload"`` — single worst post-contingency loading first
+      (a thermally-fixated analyst); islanding and divergence rank below
+      genuine thermal stress.  This is the alternative approach behind
+      the paper's Table 1 divergent row.
+    """
+    pool = [
+        o
+        for o in report.outcomes
+        if include_islanding or not o.islanded
+    ]
+    if metric == "severity":
+        scored = sorted(pool, key=lambda o: -o.severity(weights))
+    elif metric == "peak_overload":
+        def peak_key(o) -> float:
+            if o.converged and not o.islanded:
+                return o.max_loading_percent
+            # Non-thermal events trail genuine overloads in this mode.
+            return min(99.0, o.severity(weights) / 50.0)
+
+        scored = sorted(pool, key=lambda o: -peak_key(o))
+    else:
+        raise ValueError(
+            f"unknown ranking metric {metric!r}; use 'severity' or 'peak_overload'"
+        )
+
+    bottleneck_counter: Counter[int] = Counter()
+    for o in report.outcomes:
+        for bid, _pct in o.overloads:
+            bottleneck_counter[bid] += 1
+    recurring = bottleneck_counter.most_common(5)
+
+    ranked = []
+    for i, o in enumerate(scored[:top_n], start=1):
+        ranked.append(
+            RankedContingency(
+                rank=i,
+                outcome=o,
+                severity=o.severity(weights),
+                justification=_justify(o, scored, i, weights),
+            )
+        )
+
+    return CriticalElementReport(
+        case_name=report.case_name,
+        ranked=ranked,
+        weights=weights,
+        recurring_bottlenecks=recurring,
+        recommendations=_recommend(ranked, recurring),
+    )
+
+
+def _justify(
+    o: ContingencyOutcome,
+    scored: list[ContingencyOutcome],
+    rank: int,
+    weights: SeverityWeights,
+) -> str:
+    """Comparative justification in the paper's narration style."""
+    base = o.summary_line()
+    if rank < len(scored):
+        nxt = scored[rank]  # the outcome ranked immediately below
+        if nxt.severity(weights) > 0:
+            return (
+                f"{base} Ranks #{rank}: severity {o.severity(weights):.1f} vs "
+                f"{nxt.severity(weights):.1f} for the next contingency "
+                f"(branch {nxt.branch_id}, {nxt.n_overloads} overload(s), "
+                f"min voltage {nxt.min_voltage_pu:.3f} pu)."
+            )
+    return f"{base} Ranks #{rank} with severity {o.severity(weights):.1f}."
+
+
+def _recommend(
+    ranked: list[RankedContingency], recurring: list[tuple[int, int]]
+) -> list[str]:
+    """Actionable mitigation suggestions (Section 3.2.3's output)."""
+    recs: list[str] = []
+    for r in ranked[:3]:
+        o = r.outcome
+        if o.islanded:
+            recs.append(
+                f"Branch {o.branch_id} ({o.from_bus}-{o.to_bus}) is radial: add a "
+                f"parallel tie or local generation to cover {o.stranded_load_mw:.0f} MW "
+                "of stranded load."
+            )
+        elif o.overloads:
+            worst_bid, worst_pct = o.overloads[0]
+            recs.append(
+                f"Reinforce the corridor around branch {worst_bid} (reaches "
+                f"{worst_pct:.0f}% after losing branch {o.branch_id}): uprate the "
+                "conductor or add a parallel circuit."
+            )
+        elif o.voltage_violations:
+            bus, vm = o.voltage_violations[0]
+            recs.append(
+                f"Add reactive support near bus {bus} (drops to {vm:.3f} pu after "
+                f"losing branch {o.branch_id}): capacitor bank or SVC."
+            )
+    if recurring:
+        top_bid, count = recurring[0]
+        if count >= 2:
+            recs.append(
+                f"Branch {top_bid} overloads under {count} different outages — a "
+                "recurring bottleneck; prioritise it for capacity expansion."
+            )
+    if not recs:
+        recs.append("No post-contingency violations found: the system is N-1 secure "
+                    "at this operating point.")
+    return recs

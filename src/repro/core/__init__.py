@@ -1,0 +1,47 @@
+"""GridMind core: schemas, tools, context, agents, session (DESIGN.md S8-S11)."""
+
+from .context import AgentContext
+from .schemas import (
+    ACOPFSolution,
+    BranchLoadingModel,
+    ContingencyAnalysisResult,
+    ContingencyRecord,
+    Modification,
+    PowerSystemModel,
+    ProvenanceRecord,
+    SolutionQuality,
+    ToolCallLogEntry,
+    WorkflowState,
+    WorkflowStep,
+)
+from .session import GridMindSession
+from .tools import RegisteredTool, ToolError, ToolRegistry
+from .validation import (
+    ValidationReport,
+    sanity_check_modification,
+    validate_acopf,
+    validate_power_flow,
+)
+
+__all__ = [
+    "ACOPFSolution",
+    "AgentContext",
+    "BranchLoadingModel",
+    "ContingencyAnalysisResult",
+    "ContingencyRecord",
+    "GridMindSession",
+    "Modification",
+    "PowerSystemModel",
+    "ProvenanceRecord",
+    "RegisteredTool",
+    "SolutionQuality",
+    "ToolCallLogEntry",
+    "ToolError",
+    "ToolRegistry",
+    "ValidationReport",
+    "WorkflowState",
+    "WorkflowStep",
+    "sanity_check_modification",
+    "validate_acopf",
+    "validate_power_flow",
+]

@@ -1,0 +1,27 @@
+"""GridMind agents: base loop, domain agents, planner, coordinator."""
+
+from .acopf_agent import ACOPF_SYSTEM_PROMPT, build_acopf_registry, make_acopf_agent
+from .base import MAX_STEPS, Agent, AgentReply
+from .contingency_agent import (
+    CA_SYSTEM_PROMPT,
+    build_ca_registry,
+    make_contingency_agent,
+)
+from .coordinator import Coordinator, SessionReply
+from .planner import INTENT_ROUTES, PlannerAgent
+
+__all__ = [
+    "ACOPF_SYSTEM_PROMPT",
+    "Agent",
+    "AgentReply",
+    "CA_SYSTEM_PROMPT",
+    "Coordinator",
+    "INTENT_ROUTES",
+    "MAX_STEPS",
+    "PlannerAgent",
+    "SessionReply",
+    "build_acopf_registry",
+    "build_ca_registry",
+    "make_acopf_agent",
+    "make_contingency_agent",
+]

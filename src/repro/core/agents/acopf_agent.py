@@ -1,0 +1,323 @@
+"""The ACOPF agent: economic dispatch through validated function tools.
+
+Tools follow the paper's Appendix B.3.1 (``solve_acopf_case``,
+``modify_bus_load``, ``get_network_status``) plus documented extensions
+(``assess_solution_quality``, ``apply_branch_outage``) needed for the
+Section 3.2.1 economic-impact dialogue.  Every handler validates its
+result before depositing it into the shared context and returns the
+pydantic-dumped artefact the narration layer quotes from.
+"""
+
+from __future__ import annotations
+
+import time
+
+from pydantic import BaseModel, Field
+
+from ...llm.base import LLMBackend
+from ...opf import IPMOptions, solve_acopf, solve_acopf_scipy
+from ...opf.result import OPFResult
+from ..context import AgentContext
+from ..schemas import ACOPFSolution, BranchLoadingModel, SolutionQuality
+from ..tools import ToolError, ToolRegistry
+from ..validation import sanity_check_modification, validate_acopf
+from .base import Agent
+
+# Paper Figure 4, abridged to its operative clauses.
+ACOPF_SYSTEM_PROMPT = """\
+You are an expert ACOPF (AC Optimal Power Flow) agent for power system analysis.
+Your capabilities include solving ACOPF problems for standard IEEE test cases
+(14, 30, 57, 118, 300 bus systems), modifying system parameters and re-solving,
+validating solutions by checking power flows, voltage limits, and line loadings,
+and assessing solution quality. Never fabricate solver outputs; always call
+tools for numerical data. Be professional, accurate, and educational."""
+
+
+class SolveArgs(BaseModel):
+    case_name: str = Field(description="IEEE case identifier, e.g. 'ieee118'")
+
+
+class ModifyLoadArgs(BaseModel):
+    bus: int = Field(ge=0, description="bus index (0-based)")
+    pd_mw: float | None = Field(default=None, description="set total load to this MW")
+    delta_mw: float | None = Field(default=None, description="change load by this MW")
+    percent: float | None = Field(default=None, description="change load by this percent")
+
+
+class OutageArgs(BaseModel):
+    branch_id: int | None = Field(default=None, ge=0)
+    from_bus: int | None = Field(default=None, ge=0)
+    to_bus: int | None = Field(default=None, ge=0)
+
+
+def solution_to_schema(case_name: str, res: OPFResult, message: str = "") -> ACOPFSolution:
+    """Convert a raw OPF result into the validated context artefact."""
+    loading = [
+        BranchLoadingModel(
+            branch_id=int(bid),
+            from_bus=-1,
+            to_bus=-1,
+            loading_percent=float(pct),
+            mva_flow=float(flow),
+            rate_mva=0.0,
+        )
+        for bid, pct, flow in zip(
+            res.branch_ids, res.loading_percent, res.s_from_mva
+        )
+    ]
+    return ACOPFSolution(
+        case_name=case_name,
+        solved=res.converged,
+        objective_cost=float(res.objective_cost) if res.converged else 0.0,
+        gen_dispatch_mw={
+            f"gen_{int(g)}": round(float(p), 4)
+            for g, p in zip(res.gen_ids, res.pg_mw)
+        },
+        branch_loading=loading,
+        min_voltage_pu=res.min_voltage_pu,
+        max_voltage_pu=res.max_voltage_pu,
+        convergence_message=message or res.message,
+        total_generation_mw=res.total_generation_mw,
+        losses_mw=res.losses_mw,
+        max_loading_percent=res.max_loading_percent,
+        iterations=res.iterations,
+        solver=res.method,
+        runtime_s=res.runtime_s,
+        max_mismatch_pu=res.max_power_balance_mismatch_pu,
+    )
+
+
+def _solve_with_recovery(context: AgentContext) -> tuple[OPFResult, str]:
+    """PDIPM first; on failure relax tolerances, then the scipy backend.
+
+    This is the paper's "automatic recovery path (adjust solver
+    tolerances, fall back to an alternative algorithm)".
+    """
+    net = context.require_network()
+    res = solve_acopf(net)
+    report = validate_acopf(net, res)
+    if report.ok:
+        return res, "validated: " + report.describe()
+
+    relaxed = solve_acopf(net, options=IPMOptions(feastol=1e-5, gradtol=1e-5,
+                                                 comptol=1e-5, costtol=1e-5,
+                                                 max_iter=250))
+    report = validate_acopf(net, relaxed)
+    if report.ok:
+        return relaxed, "validated after tolerance relaxation"
+
+    fallback = solve_acopf_scipy(net)
+    report = validate_acopf(net, fallback)
+    if report.ok:
+        return fallback, "validated via scipy trust-constr fallback"
+    best = max((res, relaxed, fallback), key=lambda r: r.converged)
+    return best, "validation failed: " + report.describe()
+
+
+def _summary_payload(solution: ACOPFSolution) -> dict:
+    """Trim the full artefact to the fields narration quotes (the full
+    object stays in context)."""
+    data = solution.model_dump()
+    data["branch_loading"] = data["branch_loading"][:5]
+    data["gen_dispatch_mw"] = dict(list(data["gen_dispatch_mw"].items())[:8])
+    data["max_mismatch_pu"] = solution.max_mismatch_pu
+    return data
+
+
+def build_acopf_registry(context: AgentContext) -> ToolRegistry:
+    """Register the ACOPF agent's function tools over the shared context."""
+    registry = ToolRegistry()
+
+    def solve_acopf_case(case_name: str) -> dict:
+        t0 = time.perf_counter()
+        context.activate_case(case_name)
+        res, validation_msg = _solve_with_recovery(context)
+        solution = solution_to_schema(context.case_name, res, validation_msg)
+        context.deposit_acopf(solution, res)
+        context.record_provenance(
+            "solve_acopf_case",
+            solver=res.method,
+            ok=solution.solved,
+            duration_s=time.perf_counter() - t0,
+            iterations=res.iterations,
+        )
+        return _summary_payload(solution)
+
+    def modify_bus_load(
+        bus: int,
+        pd_mw: float | None = None,
+        delta_mw: float | None = None,
+        percent: float | None = None,
+    ) -> dict:
+        net = context.require_network()
+        check = sanity_check_modification(net, bus=bus)
+        if not check.ok:
+            raise ToolError(check.describe())
+        old_pd = sum(ld.pd_mw for ld in net.loads_at_bus(bus))
+        if pd_mw is not None:
+            new_pd = pd_mw
+        elif delta_mw is not None:
+            new_pd = old_pd + delta_mw
+        elif percent is not None:
+            new_pd = old_pd * (1.0 + percent / 100.0)
+        else:
+            raise ToolError("one of pd_mw, delta_mw or percent is required")
+        if new_pd < 0:
+            raise ToolError(
+                f"requested load {new_pd:.1f} MW at bus {bus} is negative"
+            )
+        prev_cost = (
+            context.acopf_solution.objective_cost
+            if context.acopf_solution and context.acopf_solution.solved
+            else None
+        )
+        net.set_load(bus, new_pd)
+        context.record_modification(
+            "load_change",
+            f"bus {bus} load {old_pd:.1f} -> {new_pd:.1f} MW",
+            bus=bus,
+            old_pd_mw=old_pd,
+            new_pd_mw=new_pd,
+        )
+        res, validation_msg = _solve_with_recovery(context)
+        solution = solution_to_schema(context.case_name, res, validation_msg)
+        context.deposit_acopf(solution, res)
+        payload = _summary_payload(solution)
+        payload.update(
+            {
+                "bus": bus,
+                "old_pd_mw": old_pd,
+                "new_pd_mw": new_pd,
+                "cost_delta": (
+                    solution.objective_cost - prev_cost
+                    if prev_cost is not None and solution.solved
+                    else None
+                ),
+            }
+        )
+        return payload
+
+    def get_network_status() -> dict:
+        if context.network is None:
+            return {"case_name": "", "message": "no case loaded"}
+        model = context.system_model()
+        out = model.model_dump()
+        out.update(context.summary())
+        out["case_name"] = model.case_name
+        out["modifications"] = [m.description for m in context.modifications]
+        return out
+
+    def assess_solution_quality() -> dict:
+        if not (context.acopf_solution and context.acopf_solution.solved):
+            raise ToolError("no solved ACOPF in context; solve a case first")
+        sol = context.acopf_solution
+        quality = _score_quality(context, sol)
+        return {"case_name": sol.case_name, **quality.model_dump()}
+
+    def apply_branch_outage(
+        branch_id: int | None = None,
+        from_bus: int | None = None,
+        to_bus: int | None = None,
+    ) -> dict:
+        net = context.require_network()
+        if branch_id is None:
+            if from_bus is None or to_bus is None:
+                raise ToolError("give either branch_id or both from_bus and to_bus")
+            try:
+                branch_id = net.find_branch(from_bus, to_bus)
+            except KeyError as exc:
+                raise ToolError(str(exc)) from exc
+        check = sanity_check_modification(net, branch_id=branch_id)
+        if not check.ok:
+            raise ToolError(check.describe())
+        br = net.set_branch_status(branch_id, False)
+        desc = (
+            f"{'transformer' if br.is_transformer else 'line'} "
+            f"{br.from_bus}-{br.to_bus} (branch {branch_id})"
+        )
+        context.record_modification(
+            "branch_outage", f"outage of {desc}", branch_id=branch_id
+        )
+        return {"branch_id": branch_id, "branch_desc": desc, "in_service": False}
+
+    registry.register(
+        "solve_acopf_case",
+        "Load and solve an IEEE test case with the validated ACOPF solver.",
+        solve_acopf_case,
+        SolveArgs,
+    )
+    registry.register(
+        "modify_bus_load",
+        "Modify the load at a specific bus and re-solve the ACOPF.",
+        modify_bus_load,
+        ModifyLoadArgs,
+    )
+    registry.register(
+        "get_network_status",
+        "Get the current network and solution status from the shared context.",
+        get_network_status,
+    )
+    registry.register(
+        "assess_solution_quality",
+        "Score the stored ACOPF solution (convergence, constraints, economics, security).",
+        assess_solution_quality,
+    )
+    registry.register(
+        "apply_branch_outage",
+        "Take a branch out of service (topology edit; re-solve to see impact).",
+        apply_branch_outage,
+        OutageArgs,
+    )
+    return registry
+
+
+def _score_quality(context: AgentContext, sol: ACOPFSolution) -> SolutionQuality:
+    """Heuristic 0-10 scoring against the Appendix C SolutionQuality model."""
+    convergence = 10.0 if sol.solved and sol.max_mismatch_pu < 1e-6 else (
+        7.0 if sol.solved else 0.0
+    )
+    headroom = max(0.0, 100.0 - sol.max_loading_percent)
+    constraint = min(10.0, 6.0 + headroom / 10.0) if sol.solved else 0.0
+    losses_pct = (
+        100.0 * sol.losses_mw / sol.total_generation_mw
+        if sol.total_generation_mw
+        else 0.0
+    )
+    economic = max(0.0, 10.0 - losses_pct)
+    vmargin = min(sol.min_voltage_pu - 0.94, 1.06 - sol.max_voltage_pu)
+    security = max(0.0, min(10.0, 5.0 + 100.0 * vmargin))
+    overall = 0.3 * convergence + 0.25 * constraint + 0.2 * economic + 0.25 * security
+    recs = []
+    if sol.max_loading_percent > 95.0:
+        recs.append("Thermal margins are thin; consider reinforcing binding corridors.")
+    if vmargin < 0.005:
+        recs.append("Voltage profile is near its limits; review reactive reserves.")
+    if losses_pct > 4.0:
+        recs.append(f"Losses are {losses_pct:.1f}% of generation; check dispatch pattern.")
+    if not recs:
+        recs.append("Solution is healthy across all quality dimensions.")
+    return SolutionQuality(
+        overall_score=round(overall, 2),
+        convergence_quality=round(convergence, 2),
+        constraint_satisfaction=round(constraint, 2),
+        economic_efficiency=round(economic, 2),
+        system_security=round(security, 2),
+        detailed_metrics={
+            "losses_percent": round(losses_pct, 3),
+            "max_loading_percent": round(sol.max_loading_percent, 2),
+            "voltage_margin_pu": round(vmargin, 4),
+            "n_modifications": len(context.modifications),
+        },
+        recommendations=recs,
+    )
+
+
+def make_acopf_agent(backend: LLMBackend, context: AgentContext) -> Agent:
+    """Assemble the ACOPF agent over a backend and shared context."""
+    return Agent(
+        name="acopf",
+        system_prompt=ACOPF_SYSTEM_PROMPT,
+        backend=backend,
+        registry=build_acopf_registry(context),
+        context=context,
+    )

@@ -1,0 +1,134 @@
+"""Agent base class: the reason-act-reflect loop.
+
+One ``handle(text)`` call is a complete cognitive cycle (paper Section
+3.2.1): the model plans in language, requests tool calls, the harness
+executes them through the validated registry, results are appended as
+structured tool messages, and the loop repeats until the model produces a
+final narrated reply.  The agent injects a fresh structured context
+summary before every turn so the model grounds its plan in the latest
+validated state (the "memory" pillar).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...llm.base import ChatMessage, LLMBackend, TokenUsage
+from ...llm.simulated import CONTEXT_MARKER
+from ..context import AgentContext
+from ..schemas import ToolCallLogEntry
+from ..tools import ToolRegistry
+
+import json
+
+#: Hard cap on reason-act cycles per request (runaway-loop guard).
+MAX_STEPS = 12
+
+
+@dataclass
+class AgentReply:
+    """Everything one agent turn produced."""
+
+    agent: str
+    text: str
+    steps: int
+    usage: TokenUsage
+    latency_s: float  # virtual seconds across all completions this turn
+    tool_calls: list[ToolCallLogEntry] = field(default_factory=list)
+
+
+class Agent:
+    """A domain agent: LLM backend + tool registry + shared context."""
+
+    def __init__(
+        self,
+        name: str,
+        system_prompt: str,
+        backend: LLMBackend,
+        registry: ToolRegistry,
+        context: AgentContext,
+        keep_history: int = 20,
+    ) -> None:
+        self.name = name
+        self.system_prompt = system_prompt
+        self.backend = backend
+        self.registry = registry
+        self.context = context
+        self.keep_history = keep_history
+        self.transcript: list[ChatMessage] = []
+
+    # ------------------------------------------------------------------
+    def handle(self, text: str) -> AgentReply:
+        """Run one full reason-act-reflect cycle for a user request."""
+        user_msg = ChatMessage(role="user", content=text)
+        turn: list[ChatMessage] = [user_msg]
+        usage = TokenUsage()
+        latency = 0.0
+        tool_log_start = len(self.registry.log)
+        steps = 0
+        final_text = ""
+
+        # Snapshot the context summary once per turn: the model plans
+        # against the state as it was when the user asked, so the plan
+        # stays coherent across the reason-act iterations even though the
+        # tools mutate the context along the way.
+        context_msg = ChatMessage(
+            role="system",
+            content=CONTEXT_MARKER + json.dumps(self.context.summary(), default=str),
+        )
+
+        for steps in range(1, MAX_STEPS + 1):
+            messages = self._compose(context_msg, turn)
+            response = self.backend.complete(messages, self.registry.specs())
+            usage = usage + response.usage
+            latency += response.latency_s
+            turn.append(response.message)
+
+            if not response.wants_tools:
+                final_text = response.message.content
+                break
+
+            for call in response.message.tool_calls:
+                payload = self.registry.call(call.name, call.arguments)
+                turn.append(
+                    ChatMessage(
+                        role="tool",
+                        content=payload,
+                        tool_call_id=call.call_id,
+                        name=call.name,
+                    )
+                )
+        else:  # pragma: no cover - MAX_STEPS exhaustion is a logic bug guard
+            final_text = (
+                "I could not complete the request within the step budget; "
+                "partial results are recorded in the session log."
+            )
+
+        self._remember(turn)
+        return AgentReply(
+            agent=self.name,
+            text=final_text,
+            steps=steps,
+            usage=usage,
+            latency_s=latency,
+            tool_calls=self.registry.log[tool_log_start:],
+        )
+
+    # ------------------------------------------------------------------
+    def _compose(
+        self, context_msg: ChatMessage, turn: list[ChatMessage]
+    ) -> list[ChatMessage]:
+        """System prompt + context summary + trimmed history + this turn."""
+        history = self.transcript[-self.keep_history:]
+        return [
+            ChatMessage(role="system", content=self.system_prompt),
+            context_msg,
+            *history,
+            *turn,
+        ]
+
+    def _remember(self, turn: list[ChatMessage]) -> None:
+        """Persist the turn in conversational memory (bounded)."""
+        self.transcript.extend(turn)
+        if len(self.transcript) > 4 * self.keep_history:
+            self.transcript = self.transcript[-2 * self.keep_history:]

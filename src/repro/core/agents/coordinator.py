@@ -1,0 +1,103 @@
+"""The agent coordinator: multi-step execution over shared context.
+
+Runs the planner's workflow steps in order, dispatching each clause to
+its domain agent.  All agents share one :class:`AgentContext`, so an
+ACOPF solution deposited by step 1 is the validated base point the CA
+agent reuses in step 2 — the paper's produce-validate-consume loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...llm.base import TokenUsage
+from ..context import AgentContext
+from ..schemas import ToolCallLogEntry, WorkflowState
+from .base import Agent, AgentReply
+from .planner import PlannerAgent
+
+
+@dataclass
+class SessionReply:
+    """Aggregated outcome of one user request (possibly multi-agent)."""
+
+    text: str
+    workflow: WorkflowState
+    replies: list[AgentReply] = field(default_factory=list)
+    usage: TokenUsage = field(default_factory=TokenUsage)
+    latency_s: float = 0.0  # virtual LLM seconds
+    wall_s: float = 0.0  # real solver/tool seconds (set by the session)
+
+    @property
+    def tool_calls(self) -> list[ToolCallLogEntry]:
+        return [c for r in self.replies for c in r.tool_calls]
+
+    @property
+    def agents_involved(self) -> list[str]:
+        seen: list[str] = []
+        for r in self.replies:
+            if r.agent not in seen:
+                seen.append(r.agent)
+        return seen
+
+
+class Coordinator:
+    """Routes planned steps to agents and merges their replies."""
+
+    def __init__(
+        self,
+        planner: PlannerAgent,
+        agents: dict[str, Agent],
+        context: AgentContext,
+    ) -> None:
+        if not agents:
+            raise ValueError("coordinator needs at least one agent")
+        self.planner = planner
+        self.agents = agents
+        self.context = context
+        self.history: list[WorkflowState] = []
+
+    def dispatch(self, text: str) -> SessionReply:
+        """Plan and execute one user request end to end."""
+        workflow = self.planner.plan(text)
+        self.history.append(workflow)
+
+        replies: list[AgentReply] = []
+        usage = TokenUsage()
+        latency = 0.0
+
+        for i, step in enumerate(workflow.steps):
+            agent = self.agents.get(step.agent)
+            if agent is None:  # pragma: no cover - route table guards this
+                workflow.mark(i, "failed")
+                continue
+            workflow.mark(i, "running")
+            reply = agent.handle(step.clause)
+            replies.append(reply)
+            usage = usage + reply.usage
+            latency += reply.latency_s
+            failed = any(not c.ok for c in reply.tool_calls) and not reply.text
+            workflow.mark(i, "failed" if failed else "done")
+
+        text_out = self._merge_texts(replies)
+        return SessionReply(
+            text=text_out,
+            workflow=workflow,
+            replies=replies,
+            usage=usage,
+            latency_s=latency,
+        )
+
+    @staticmethod
+    def _merge_texts(replies: list[AgentReply]) -> str:
+        if not replies:
+            return "I could not map the request to any analysis capability."
+        if len(replies) == 1:
+            return replies[0].text
+        blocks = []
+        for r in replies:
+            header = {"acopf": "ACOPF analysis", "contingency": "Contingency analysis"}.get(
+                r.agent, r.agent
+            )
+            blocks.append(f"[{header}]\n{r.text}")
+        return "\n\n".join(blocks)

@@ -1,0 +1,68 @@
+"""The planner agent: request decomposition and agent assignment.
+
+Analyses a user request, segments it into ordered clauses (via the same
+rule-grammar language model the simulated backend uses — the planner *is*
+an LLM role in the paper), and assigns each clause to a domain agent.
+Produces a :class:`WorkflowState` the coordinator executes and tracks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...llm.base import LLMBackend
+from ...llm.latency import VirtualClock
+from ...llm.nlu import Intent, parse_request
+from ..schemas import WorkflowState, WorkflowStep
+
+#: Which domain agent owns each intent.
+INTENT_ROUTES: dict[Intent, str] = {
+    Intent.SOLVE_CASE: "acopf",
+    Intent.MODIFY_LOAD: "acopf",
+    Intent.NETWORK_STATUS: "acopf",
+    Intent.SOLUTION_QUALITY: "acopf",
+    Intent.ECONOMIC_IMPACT: "acopf",
+    Intent.RUN_CONTINGENCY: "contingency",
+    Intent.ANALYZE_OUTAGE: "contingency",
+    Intent.HELP: "acopf",
+    Intent.UNKNOWN: "acopf",
+}
+
+
+@dataclass
+class PlannerAgent:
+    """Thin agent that turns free text into an executable workflow."""
+
+    backend: LLMBackend
+    clock: VirtualClock | None = None
+
+    def plan(self, text: str) -> WorkflowState:
+        """Decompose ``text`` into routed workflow steps.
+
+        The intent analysis itself is one "reasoning" completion worth of
+        latency — charged to the session's virtual clock through the
+        backend's profile so instrumentation reflects planning cost.
+        """
+        self._charge_planning_latency(text)
+        steps = []
+        for parsed in parse_request(text):
+            agent = INTENT_ROUTES.get(parsed.intent, "acopf")
+            clause = parsed.text
+            # Steps that inherited a case from an earlier clause carry it
+            # explicitly so the downstream agent's NLU re-resolves it.
+            if "inherited_case" in parsed.entities and "case" not in parsed.entities:
+                clause = f"{clause} (case {parsed.entities['inherited_case']})"
+            steps.append(
+                WorkflowStep(agent=agent, clause=clause, intent=parsed.intent.value)
+            )
+        return WorkflowState(request=text, steps=steps)
+
+    def _charge_planning_latency(self, text: str) -> None:
+        """Sample one short completion's latency from the backend profile."""
+        profile = getattr(self.backend, "profile", None)
+        rng = getattr(self.backend, "_rng", None)
+        clock = self.clock or getattr(self.backend, "clock", None)
+        if profile is None or rng is None or clock is None:
+            return
+        # Planning is a short structured completion: a third of a chat call.
+        clock.advance(profile.chat_latency.sample(rng) / 3.0)

@@ -1,0 +1,107 @@
+"""Interactive CLI chat interface (paper Appendix D.1).
+
+Plain-stdlib REPL with light ANSI colour — the paper uses Rich, which is
+not available offline; the interaction loop is identical.  Run with::
+
+    gridmind --model gpt-5-mini
+    gridmind --model claude-4-sonnet --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..llm.profiles import PAPER_MODELS
+from .session import GridMindSession
+
+_BANNER = r"""
+  ____      _     _ __  __ _           _
+ / ___|_ __(_) __| |  \/  (_)_ __   __| |
+| |  _| '__| |/ _` | |\/| | | '_ \ / _` |
+| |_| | |  | | (_| | |  | | | | | | (_| |
+ \____|_|  |_|\__,_|_|  |_|_|_| |_|\__,_|
+ Conversational power-system analysis (reproduction)
+"""
+
+_CYAN = "\033[96m"
+_DIM = "\033[2m"
+_RESET = "\033[0m"
+
+
+def _supports_color(stream) -> bool:
+    return hasattr(stream, "isatty") and stream.isatty()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gridmind",
+        description="Conversational ACOPF and contingency analysis agents.",
+    )
+    parser.add_argument(
+        "--model",
+        default="gpt-5-mini",
+        help=f"simulated model profile (one of: {', '.join(PAPER_MODELS)})",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="session RNG seed")
+    parser.add_argument(
+        "--ask",
+        action="append",
+        default=None,
+        metavar="TEXT",
+        help="non-interactive: process this request and exit (repeatable)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    color = _supports_color(sys.stdout)
+    cyan = _CYAN if color else ""
+    dim = _DIM if color else ""
+    reset = _RESET if color else ""
+
+    session = GridMindSession(model=args.model, seed=args.seed)
+
+    def respond(text: str) -> None:
+        reply = session.ask(text)
+        rec = session.last_record
+        print(f"{cyan}{reply.text}{reset}")
+        if rec is not None:
+            print(
+                f"{dim}[{session.model} | agents: {', '.join(reply.agents_involved)} "
+                f"| llm {rec.latency_virtual_s:.1f}s (simulated) "
+                f"+ compute {rec.wall_s:.2f}s | "
+                f"{rec.prompt_tokens}+{rec.completion_tokens} tokens]{reset}"
+            )
+
+    if args.ask:
+        for text in args.ask:
+            print(f"> {text}")
+            respond(text)
+        return 0
+
+    print(_BANNER)
+    print(
+        f"model: {session.model} — type a request "
+        "('Solve IEEE 14', 'run contingency analysis', ...); 'quit' to exit.\n"
+    )
+    while True:
+        try:
+            text = input("gridmind> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            print()
+            break
+        if not text:
+            continue
+        if text.lower() in {"quit", "exit", "q"}:
+            break
+        respond(text)
+
+    summary = session.metrics()
+    print(f"{dim}session summary: {summary}{reset}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

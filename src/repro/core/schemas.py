@@ -1,0 +1,181 @@
+"""Typed data models (paper Section 3.3 and Appendix C).
+
+Every artefact that crosses an agent boundary is validated against these
+pydantic schemas: network snapshots, optimisation solutions, contingency
+outcomes, context summaries, and workflow state.  Field names
+(``objective_cost``, ``min_voltage_pu``, ``max_loading_percent``, ...) are
+the semantic anchors the simulated model's narration maps intents onto —
+exactly the anti-hallucination mechanism the paper describes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from pydantic import BaseModel, Field
+
+
+def now_iso() -> str:
+    """Wall-clock timestamp for provenance records."""
+    return time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime())
+
+
+class BranchLoadingModel(BaseModel):
+    """Loading of one branch in a solved state."""
+
+    branch_id: int
+    from_bus: int
+    to_bus: int
+    loading_percent: float
+    mva_flow: float
+    rate_mva: float
+
+
+class ACOPFSolution(BaseModel):
+    """Validated ACOPF artefact deposited into the shared context."""
+
+    case_name: str
+    solved: bool
+    objective_cost: float
+    gen_dispatch_mw: dict[str, float] = Field(default_factory=dict)
+    branch_loading: list[BranchLoadingModel] = Field(default_factory=list)
+    min_voltage_pu: float = 1.0
+    max_voltage_pu: float = 1.0
+    convergence_message: str = ""
+    # Extensions beyond the paper's illustrative fragment:
+    total_generation_mw: float = 0.0
+    losses_mw: float = 0.0
+    max_loading_percent: float = 0.0
+    iterations: int = 0
+    solver: str = "acopf-ipm"
+    runtime_s: float = 0.0
+    max_mismatch_pu: float = 0.0
+    timestamp: str = Field(default_factory=now_iso)
+
+
+class SolutionQuality(BaseModel):
+    """Multi-dimensional quality score (paper Appendix C, verbatim shape)."""
+
+    overall_score: float = Field(ge=0.0, le=10.0)
+    convergence_quality: float = Field(ge=0.0, le=10.0)
+    constraint_satisfaction: float = Field(ge=0.0, le=10.0)
+    economic_efficiency: float = Field(ge=0.0, le=10.0)
+    system_security: float = Field(ge=0.0, le=10.0)
+    detailed_metrics: dict[str, Any] = Field(default_factory=dict)
+    recommendations: list[str] = Field(default_factory=list)
+
+
+class ContingencyRecord(BaseModel):
+    """One ranked contingency within a result set."""
+
+    rank: int
+    branch_id: int
+    from_bus: int
+    to_bus: int
+    is_transformer: bool = False
+    severity: float = 0.0
+    converged: bool = True
+    islanded: bool = False
+    stranded_load_mw: float = 0.0
+    n_overloads: int = 0
+    max_loading_percent: float = 0.0
+    min_voltage_pu: float = 1.0
+    n_voltage_violations: int = 0
+    estimated_curtailment_mw: float = 0.0
+    justification: str = ""
+
+
+class ContingencyAnalysisResult(BaseModel):
+    """Aggregated N-1 outcome set (the paper's ContingencyResultSet)."""
+
+    case_name: str
+    base_objective_cost: float | None = None
+    n_contingencies: int
+    n_violations: int
+    max_overload_percent: float
+    critical: list[ContingencyRecord] = Field(default_factory=list)
+    recommendations: list[str] = Field(default_factory=list)
+    recurring_bottlenecks: list[tuple[int, int]] = Field(default_factory=list)
+    weights_profile: str = "balanced"
+    overload_threshold: float = 100.0
+    runtime_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    timestamp: str = Field(default_factory=now_iso)
+
+
+class PowerSystemModel(BaseModel):
+    """Unified network snapshot metadata (buses/gens/branches + totals)."""
+
+    case_name: str
+    n_bus: int
+    n_gen: int
+    n_load: int
+    n_branch: int
+    n_line: int
+    n_transformer: int
+    base_mva: float = 100.0
+    total_load_mw: float = 0.0
+    total_load_mvar: float = 0.0
+    gen_capacity_mw: float = 0.0
+    description: str = ""
+    source: str = ""
+
+
+class Modification(BaseModel):
+    """One entry of the chronological diff log."""
+
+    kind: str  # "load_change" | "branch_outage" | "branch_restore" | ...
+    description: str
+    params: dict[str, Any] = Field(default_factory=dict)
+    network_version: int = 0
+    timestamp: str = Field(default_factory=now_iso)
+
+
+class ProvenanceRecord(BaseModel):
+    """Solver/tool provenance attached to every numerical artefact."""
+
+    tool: str
+    solver: str = ""
+    options: dict[str, Any] = Field(default_factory=dict)
+    ok: bool = True
+    duration_s: float = 0.0
+    timestamp: str = Field(default_factory=now_iso)
+
+
+class WorkflowStep(BaseModel):
+    agent: str
+    clause: str
+    intent: str = ""
+    status: str = "pending"  # pending | running | done | failed
+
+
+class WorkflowState(BaseModel):
+    """Multi-step analytical plan and its completion status."""
+
+    request: str
+    steps: list[WorkflowStep] = Field(default_factory=list)
+    status: str = "pending"
+    timestamp: str = Field(default_factory=now_iso)
+
+    def mark(self, index: int, status: str) -> None:
+        self.steps[index].status = status
+        if all(s.status == "done" for s in self.steps):
+            self.status = "done"
+        elif any(s.status == "failed" for s in self.steps):
+            self.status = "failed"
+        else:
+            self.status = "running"
+
+
+class ToolCallLogEntry(BaseModel):
+    """Audit-trail record of one executed tool call."""
+
+    tool: str
+    arguments: dict[str, Any] = Field(default_factory=dict)
+    result: dict[str, Any] | None = None
+    ok: bool = True
+    error: str = ""
+    duration_s: float = 0.0
+    timestamp: str = Field(default_factory=now_iso)

@@ -1,0 +1,121 @@
+"""GridMindSession: the conversational front door.
+
+Wires one simulated LLM backend, the shared context, the planner, the two
+domain agents and the instrumentation bench into a single object::
+
+    session = GridMindSession(model="gpt-5-mini")
+    reply = session.ask("Solve the IEEE 118 bus case")
+    print(reply.text)
+    reply = session.ask("Increase the load at bus 10 to 50 MW")
+    reply = session.ask("What are the most critical contingencies?")
+
+Timing semantics: ``reply.latency_s`` is the *virtual* LLM latency the
+model profile charges (what a user of the paper's system would wait for
+the remote API), ``reply.wall_s`` the real compute spent in solvers and
+harness, and ``reply.total_s`` their sum — the analogue of the paper's
+reported execution times.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from ..instrumentation import RunLogger, RequestRecord, audit_narration
+from ..llm.latency import VirtualClock
+from ..llm.simulated import SimulatedLLM
+from .agents.acopf_agent import make_acopf_agent
+from .agents.contingency_agent import make_contingency_agent
+from .agents.coordinator import Coordinator, SessionReply
+from .agents.planner import PlannerAgent
+from .context import AgentContext
+
+
+class GridMindSession:
+    """A persistent conversational analysis session."""
+
+    def __init__(self, model: str = "gpt-5-mini", *, seed: int = 0) -> None:
+        self.clock = VirtualClock()
+        self.backend = SimulatedLLM(model, seed=seed, clock=self.clock)
+        self.model = self.backend.name
+        self.context = AgentContext()
+        self.agents = {
+            "acopf": make_acopf_agent(self.backend, self.context),
+            "contingency": make_contingency_agent(self.backend, self.context),
+        }
+        self.planner = PlannerAgent(self.backend, clock=self.clock)
+        self.coordinator = Coordinator(self.planner, self.agents, self.context)
+        self.logger = RunLogger()
+
+    # ------------------------------------------------------------------
+    def ask(self, text: str) -> SessionReply:
+        """Process one natural-language request end to end."""
+        clock_before = self.clock.now
+        wall_start = time.perf_counter()
+        reply = self.coordinator.dispatch(text)
+        reply.wall_s = time.perf_counter() - wall_start
+        reply.latency_s = self.clock.now - clock_before
+
+        # Ground-truth payloads for auditing: the structured tool results
+        # this turn produced, plus the current context artefacts.
+        audit_payloads = [c.result for c in reply.tool_calls if c.result]
+        audit_payloads.extend(c.arguments for c in reply.tool_calls if c.arguments)
+        if self.context.acopf_solution is not None:
+            audit_payloads.append(self.context.acopf_solution.model_dump())
+        if self.context.ca_result is not None:
+            audit_payloads.append(self.context.ca_result.model_dump())
+        audit = audit_narration(reply.text, audit_payloads)
+
+        success = bool(reply.replies) and not any(
+            not c.ok for c in reply.tool_calls
+        )
+        self.logger.log(
+            RequestRecord(
+                model=self.model,
+                request=text,
+                agents=reply.agents_involved,
+                success=success,
+                latency_virtual_s=reply.latency_s,
+                wall_s=reply.wall_s,
+                total_s=reply.latency_s + reply.wall_s,
+                prompt_tokens=reply.usage.prompt_tokens,
+                completion_tokens=reply.usage.completion_tokens,
+                n_tool_calls=len(reply.tool_calls),
+                n_tool_failures=sum(1 for c in reply.tool_calls if not c.ok),
+                factual_slips=len(audit.slips),
+            )
+        )
+        return reply
+
+    # ------------------------------------------------------------------
+    @property
+    def last_record(self) -> RequestRecord | None:
+        return self.logger.records[-1] if self.logger.records else None
+
+    def metrics(self) -> dict:
+        """Instrumentation summary for this session."""
+        return self.logger.summary()
+
+    def save(self, path: str | Path) -> None:
+        """Persist the analytical state (not the chat transcript)."""
+        self.context.save(path)
+
+    def resume(self, path: str | Path) -> None:
+        """Restore analytical state saved by :meth:`save`."""
+        self.context = AgentContext.load(path)
+        for agent in self.agents.values():
+            agent.context = self.context
+        self.coordinator.context = self.context
+        # Re-bind the tool registries to the restored context.
+        from .agents.acopf_agent import build_acopf_registry
+        from .agents.contingency_agent import build_ca_registry
+
+        self.agents["acopf"].registry = build_acopf_registry(self.context)
+        self.agents["contingency"].registry = build_ca_registry(self.context)
+
+    def export_log(self, path: str | Path) -> None:
+        """Dump instrumentation records as JSON lines."""
+        with open(path, "w") as fh:
+            for rec in self.logger.records:
+                fh.write(json.dumps(rec.__dict__, default=str) + "\n")

@@ -1,0 +1,110 @@
+"""Schema-bound function-tool registry.
+
+The paper's anti-hallucination backbone: every numerical capability is a
+registered tool with a JSON schema derived from a pydantic argument model;
+calls are validated before execution, results are serialised structured
+objects, and every invocation is recorded for the audit trail.  New tools
+can be registered at runtime — "the planner notices capabilities without
+refactoring core logic" (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from pydantic import BaseModel, ValidationError
+
+from ..llm.base import ToolSpec
+from .schemas import ToolCallLogEntry
+
+
+class ToolError(Exception):
+    """Raised by tool bodies for domain-level failures (bad bus id, ...)."""
+
+
+@dataclass
+class RegisteredTool:
+    name: str
+    description: str
+    handler: Callable[..., dict]
+    args_model: type[BaseModel] | None = None
+
+    def spec(self) -> ToolSpec:
+        params = (
+            self.args_model.model_json_schema()
+            if self.args_model is not None
+            else {"type": "object", "properties": {}}
+        )
+        return ToolSpec(name=self.name, description=self.description, parameters=params)
+
+
+@dataclass
+class ToolRegistry:
+    """Named tool collection with validation, logging, and JSON results."""
+
+    tools: dict[str, RegisteredTool] = field(default_factory=dict)
+    log: list[ToolCallLogEntry] = field(default_factory=list)
+
+    def register(
+        self,
+        name: str,
+        description: str,
+        handler: Callable[..., dict],
+        args_model: type[BaseModel] | None = None,
+    ) -> None:
+        if name in self.tools:
+            raise ValueError(f"tool {name!r} is already registered")
+        self.tools[name] = RegisteredTool(name, description, handler, args_model)
+
+    def specs(self) -> list[ToolSpec]:
+        return [t.spec() for t in self.tools.values()]
+
+    def names(self) -> set[str]:
+        return set(self.tools)
+
+    def call(self, name: str, arguments: dict) -> str:
+        """Execute a tool; always returns a JSON string (result or error).
+
+        Errors never raise out of the registry: the model must see them as
+        structured tool output and decide how to recover, exactly like a
+        provider tool-call loop.
+        """
+        start = time.perf_counter()
+        entry = ToolCallLogEntry(tool=name, arguments=dict(arguments))
+        try:
+            tool = self.tools.get(name)
+            if tool is None:
+                raise ToolError(
+                    f"unknown tool {name!r}; available: {sorted(self.tools)}"
+                )
+            kwargs = dict(arguments)
+            if tool.args_model is not None:
+                try:
+                    kwargs = tool.args_model(**arguments).model_dump(exclude_none=True)
+                except ValidationError as exc:
+                    raise ToolError(f"invalid arguments: {exc.errors()}") from exc
+            result = tool.handler(**kwargs)
+            if not isinstance(result, dict):
+                raise ToolError(
+                    f"tool {name!r} returned {type(result).__name__}, expected dict"
+                )
+            payload = json.dumps(result, default=str)
+            entry.result = json.loads(payload)  # normalised copy for the audit trail
+        except ToolError as exc:
+            entry.ok = False
+            entry.error = str(exc)
+            payload = json.dumps({"error": str(exc), "tool": name})
+        finally:
+            entry.duration_s = time.perf_counter() - start
+            self.log.append(entry)
+        return payload
+
+    @property
+    def call_count(self) -> int:
+        return len(self.log)
+
+    def failures(self) -> list[ToolCallLogEntry]:
+        return [e for e in self.log if not e.ok]

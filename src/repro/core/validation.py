@@ -1,0 +1,142 @@
+"""Result validation layer (paper Section 3.2.1, "Tool integration").
+
+Post-execution checks every solver artefact must pass before an agent may
+narrate it: convergence flag set, power-balance mismatch under the 1e-4
+p.u. tolerance, voltages and dispatch inside limits (with a tolerance for
+the interior-point's boundary slack).  Failures produce structured
+:class:`ValidationReport` objects that the recovery paths consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..grid.network import Network
+from ..grid.units import POWER_BALANCE_TOL_PU
+from ..opf.result import OPFResult
+from ..powerflow.solution import PowerFlowResult
+
+_LIMIT_SLACK = 1e-5  # p.u. slack allowed on box constraints
+
+
+@dataclass
+class ValidationReport:
+    ok: bool
+    checks: list[tuple[str, bool, str]] = field(default_factory=list)
+
+    def add(self, name: str, passed: bool, detail: str = "") -> None:
+        self.checks.append((name, passed, detail))
+        if not passed:
+            self.ok = False
+
+    def failed_checks(self) -> list[str]:
+        return [n for n, ok, _ in self.checks if not ok]
+
+    def describe(self) -> str:
+        if self.ok:
+            return "all validation checks passed"
+        parts = [
+            f"{name}: {detail}" for name, ok, detail in self.checks if not ok
+        ]
+        return "; ".join(parts)
+
+
+def validate_acopf(net: Network, result: OPFResult) -> ValidationReport:
+    """Full validation of an ACOPF artefact against the live network."""
+    report = ValidationReport(ok=True)
+    report.add(
+        "convergence",
+        result.converged,
+        result.message if not result.converged else "",
+    )
+    if not result.converged:
+        return report
+
+    mis = result.max_power_balance_mismatch_pu
+    report.add(
+        "power_balance",
+        mis < POWER_BALANCE_TOL_PU,
+        f"max mismatch {mis:.2e} pu exceeds {POWER_BALANCE_TOL_PU:.0e} pu",
+    )
+
+    arr = net.compile()
+    vm = result.vm
+    report.add(
+        "voltage_limits",
+        bool(np.all(vm >= arr.vmin - _LIMIT_SLACK) and np.all(vm <= arr.vmax + _LIMIT_SLACK)),
+        f"voltage range [{vm.min():.4f}, {vm.max():.4f}] pu outside "
+        f"[{arr.vmin.min():.2f}, {arr.vmax.max():.2f}]",
+    )
+
+    pg = result.pg_mw / arr.base_mva
+    report.add(
+        "dispatch_limits",
+        bool(
+            np.all(pg >= arr.pmin - 1e-4)
+            and np.all(pg <= arr.pmax + 1e-4)
+        ),
+        "generator active dispatch outside [Pmin, Pmax]",
+    )
+
+    qg = result.qg_mvar / arr.base_mva
+    report.add(
+        "reactive_limits",
+        bool(np.all(qg >= arr.qmin - 1e-4) and np.all(qg <= arr.qmax + 1e-4)),
+        "generator reactive dispatch outside [Qmin, Qmax]",
+    )
+
+    report.add(
+        "thermal_limits",
+        result.max_loading_percent <= 100.0 + 0.1,
+        f"branch loading {result.max_loading_percent:.2f}% exceeds ratings",
+    )
+    return report
+
+
+def validate_power_flow(result: PowerFlowResult) -> ValidationReport:
+    """Validation for plain power-flow artefacts (CA base case)."""
+    report = ValidationReport(ok=True)
+    report.add(
+        "convergence",
+        result.converged,
+        result.message if not result.converged else "",
+    )
+    if result.converged:
+        report.add(
+            "power_balance",
+            result.max_mismatch_pu < POWER_BALANCE_TOL_PU,
+            f"max mismatch {result.max_mismatch_pu:.2e} pu exceeds tolerance",
+        )
+        finite = bool(np.all(np.isfinite(result.vm)))
+        report.add("finite_voltages", finite, "non-finite voltage magnitudes")
+    return report
+
+
+def sanity_check_modification(
+    net: Network, bus: int | None = None, branch_id: int | None = None
+) -> ValidationReport:
+    """Pre-flight checks for modification tools (paper: "sanity checks on
+    modified elements")."""
+    report = ValidationReport(ok=True)
+    if bus is not None:
+        report.add(
+            "bus_exists",
+            0 <= bus < net.n_bus,
+            f"bus {bus} does not exist (case has {net.n_bus} buses, 0-indexed)",
+        )
+    if branch_id is not None:
+        ok = 0 <= branch_id < net.n_branch
+        report.add(
+            "branch_exists",
+            ok,
+            f"branch {branch_id} does not exist (case has {net.n_branch} branches)",
+        )
+        if ok:
+            report.add(
+                "branch_in_service",
+                net.branches[branch_id].in_service,
+                f"branch {branch_id} is already out of service",
+            )
+    return report

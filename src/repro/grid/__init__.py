@@ -1,0 +1,28 @@
+"""Power-system substrate: network model, case library, admittance matrices.
+
+This package replaces the paper's pandapower dependency with a
+from-scratch implementation (see DESIGN.md S1-S3).
+"""
+
+from .components import Branch, Bus, BusType, Generator, Load, NetworkMetadata
+from .network import Network, NetworkArrays
+from .ybus import AdmittanceMatrices, build_admittances, build_b_matrices
+from . import cases, graph, io, units
+
+__all__ = [
+    "Branch",
+    "Bus",
+    "BusType",
+    "Generator",
+    "Load",
+    "NetworkMetadata",
+    "Network",
+    "NetworkArrays",
+    "AdmittanceMatrices",
+    "build_admittances",
+    "build_b_matrices",
+    "cases",
+    "graph",
+    "io",
+    "units",
+]

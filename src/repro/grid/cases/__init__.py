@@ -1,0 +1,29 @@
+"""IEEE test-case library: genuine IEEE 14 plus synthetic 30/57/118/300.
+
+Public entry points:
+
+* :func:`load_case` — fetch a fresh copy of a registered case by any
+  common spelling ("IEEE 118", "case118", ...).
+* :func:`case_inventory` — Table 2 component counts.
+* :func:`register_case` — plug in additional cases.
+"""
+
+from .registry import (
+    TABLE2_COUNTS,
+    available_cases,
+    canonical_case_name,
+    case_inventory,
+    load_case,
+    register_case,
+)
+from .synthetic import build_synthetic
+
+__all__ = [
+    "TABLE2_COUNTS",
+    "available_cases",
+    "canonical_case_name",
+    "case_inventory",
+    "load_case",
+    "register_case",
+    "build_synthetic",
+]

@@ -1,0 +1,433 @@
+"""Deterministic synthetic IEEE-like test cases.
+
+The paper evaluates on the PSTCA IEEE 30/57/118/300-bus cases, which are
+not redistributable here; this module builds *synthetic equivalents* whose
+component counts match the paper's Table 2 exactly and whose electrical
+behaviour is calibrated to be useful for the same experiments:
+
+* the base case solves (Newton-Raphson converges, voltages within limits),
+* ACOPF is feasible (ratings are sized with margin over two plausible
+  dispatch patterns: proportional and merit-order),
+* single-branch outages produce overloads in the 110-170 % band the
+  paper's contingency study reports.
+
+Everything is seeded from the case name, so ``build_synthetic("ieee118")``
+is bit-reproducible across runs and machines.  See DESIGN.md §1 for the
+substitution rationale.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from ..components import BusType, NetworkMetadata
+from ..network import Network
+
+# Calibration targets: base-case voltages need headroom above the 0.94
+# violation threshold so that N-1 voltage violations are a feature of
+# severe outages, not of the base operating point.
+_MIN_CALIBRATED_VM = 0.97
+_MAX_CALIBRATION_ROUNDS = 18
+
+
+def _seed_for(name: str) -> int:
+    """Stable cross-platform seed derived from the case name."""
+    return zlib.crc32(name.encode("utf-8"))
+
+
+def _build_topology(
+    rng: np.random.Generator, n_bus: int, n_edge: int
+) -> list[tuple[int, int]]:
+    """Connected multigraph-free edge list with grid-like degree profile.
+
+    A random-order preferential-attachment spanning tree gives the hubby
+    backbone real grids have; the remaining edges close meshes between
+    random non-adjacent pairs, biased toward the backbone.
+    """
+    if n_edge < n_bus - 1:
+        raise ValueError(
+            f"need at least {n_bus - 1} edges to connect {n_bus} buses, got {n_edge}"
+        )
+    order = rng.permutation(n_bus)
+    degree = np.zeros(n_bus)
+    edges: list[tuple[int, int]] = []
+    seen: set[frozenset[int]] = set()
+    for i in range(1, n_bus):
+        # Preferential attachment (sub-linear, keeps degrees grid-like).
+        candidates = order[:i]
+        weights = (degree[candidates] + 1.0) ** 0.6
+        parent = int(rng.choice(candidates, p=weights / weights.sum()))
+        child = int(order[i])
+        edges.append((parent, child))
+        seen.add(frozenset((parent, child)))
+        degree[parent] += 1
+        degree[child] += 1
+
+    attempts = 0
+    while len(edges) < n_edge:
+        attempts += 1
+        if attempts > 100 * n_edge:
+            raise RuntimeError("could not place requested number of mesh edges")
+        # Close loops at the weakest points first: real grids rarely leave
+        # buses radial, and a heavily-bridged synthetic case would make
+        # N-1 analysis degenerate (every outage islands something).
+        leaves = np.flatnonzero(degree <= 1)
+        if leaves.size:
+            a = int(rng.choice(leaves))
+            weights = (degree + 1.0) ** 0.4
+            weights[a] = 0.0
+            b = int(rng.choice(n_bus, p=weights / weights.sum()))
+        else:
+            weights = (degree + 1.0) ** 0.4
+            a, b = (int(v) for v in rng.choice(
+                n_bus, size=2, replace=False, p=weights / weights.sum()
+            ))
+        key = frozenset((a, b))
+        if key in seen or a == b:
+            continue
+        edges.append((a, b))
+        seen.add(key)
+        degree[a] += 1
+        degree[b] += 1
+    return edges
+
+
+def build_synthetic(
+    name: str,
+    n_bus: int,
+    n_gen: int,
+    n_load: int,
+    n_line: int,
+    n_trafo: int,
+    mean_load_mw: float = 40.0,
+    seed: int | None = None,
+) -> Network:
+    """Generate a calibrated synthetic case with exact component counts.
+
+    Parameters mirror the paper's Table 2 columns.  ``mean_load_mw``
+    controls system scale (the calibration loop may shave it to keep the
+    base case electrically feasible).
+    """
+    rng = np.random.default_rng(_seed_for(name) if seed is None else seed)
+    n_edge = n_line + n_trafo
+
+    edges = _build_topology(rng, n_bus, n_edge)
+    degree = np.zeros(n_bus)
+    for f, t in edges:
+        degree[f] += 1
+        degree[t] += 1
+
+    net = Network(
+        metadata=NetworkMetadata(
+            case_name=name,
+            description=(
+                f"Synthetic IEEE-like case: {n_bus} buses, {n_gen} gens, "
+                f"{n_load} loads, {n_line} lines, {n_trafo} transformers. "
+                "Generated per DESIGN.md substitution rules."
+            ),
+            source="repro.grid.cases.synthetic",
+        )
+    )
+    for i in range(n_bus):
+        net.add_bus(base_kv=138.0, vmin_pu=0.94, vmax_pu=1.06)
+
+    # --- generators spread across the system with a mild hub bias: real
+    # IEEE cases distribute units widely, which is what keeps post-outage
+    # voltages supportable everywhere.  The largest unit's bus is slack.
+    gen_weights = (degree + 0.5) ** 0.8
+    gen_buses = rng.choice(
+        n_bus, size=n_gen, replace=False, p=gen_weights / gen_weights.sum()
+    )
+    shares = rng.lognormal(mean=0.0, sigma=0.9, size=n_gen)
+    shares /= shares.sum()
+
+    # --- loads at distinct buses, sized lognormally, capped on leaves so
+    # weak radial spurs don't collapse the voltage profile.
+    load_buses = rng.choice(n_bus, size=n_load, replace=False)
+    raw = rng.lognormal(mean=0.0, sigma=0.75, size=n_load)
+    pd = raw / raw.mean() * mean_load_mw
+    leaf_cap = 2.0 * mean_load_mw
+    pd = np.where(degree[load_buses] <= 1, np.minimum(pd, leaf_cap), pd)
+    pf = rng.uniform(0.90, 0.98, size=n_load)
+    qd = pd * np.tan(np.arccos(pf))
+
+    total_load = float(pd.sum())
+    total_cap = 1.8 * total_load
+    pmax = shares * total_cap
+    pmax = np.maximum(pmax, 0.02 * total_cap / n_gen)  # no vanishing units
+
+    slack_gen = int(np.argmax(pmax))
+    for g in range(n_gen):
+        bus = int(gen_buses[g])
+        net.buses[bus].bus_type = BusType.SLACK if g == slack_gen else BusType.PV
+        c2 = float(rng.uniform(0.004, 0.06) * 100.0 / max(pmax[g], 1.0))
+        c1 = float(rng.uniform(15.0, 45.0))
+        net.add_gen(
+            bus=bus,
+            pg_mw=0.0,
+            pmin_mw=0.0,
+            pmax_mw=float(pmax[g]),
+            qmin_mvar=-(0.35 * float(pmax[g]) + 15.0),
+            qmax_mvar=0.6 * float(pmax[g]) + 20.0,
+            vg_pu=float(rng.uniform(1.01, 1.05)),
+            cost_coeffs=(c2, c1, 0.0),
+        )
+
+    for i in range(n_load):
+        net.add_load(int(load_buses[i]), pd_mw=float(pd[i]), qd_mvar=float(qd[i]))
+
+    # Shunt support at the most reactive-heavy buses (mirrors the fixed
+    # capacitor banks real cases carry).
+    heavy = np.argsort(-qd)[: max(1, n_load // 4)]
+    for i in heavy:
+        net.buses[int(load_buses[i])].bs_mvar += 0.6 * float(qd[i])
+
+    # --- branch electrical parameters; backbone edges (high degree ends)
+    # get lower impedance, like the HV core of a real grid.
+    trafo_slots = set(
+        int(i) for i in rng.choice(n_edge, size=n_trafo, replace=False)
+    )
+    for e, (f, t) in enumerate(edges):
+        strength = np.sqrt(max(min(degree[f], degree[t]), 1.0))
+        if e in trafo_slots:
+            x = float(rng.uniform(0.06, 0.22) / strength) + 0.02
+            net.add_branch(
+                f,
+                t,
+                r_pu=x / 20.0,
+                x_pu=x,
+                b_pu=0.0,
+                tap=float(rng.uniform(0.96, 1.04)),
+                is_transformer=True,
+            )
+        else:
+            x = float(rng.uniform(0.03, 0.20) / strength) + 0.01
+            xr = rng.uniform(2.5, 5.0)
+            net.add_branch(
+                f,
+                t,
+                r_pu=x / xr,
+                x_pu=x,
+                b_pu=float(rng.uniform(0.005, 0.05)),
+                is_transformer=False,
+            )
+
+    _calibrate(net, rng)
+    return net
+
+
+# ----------------------------------------------------------------------
+# calibration: make the base case solvable and the ratings interesting
+# ----------------------------------------------------------------------
+
+
+def _proportional_dispatch(net: Network, margin: float = 1.03) -> None:
+    """Set Pg proportional to Pmax to cover load plus a loss margin."""
+    total = net.total_load_mw() * margin
+    cap = net.total_gen_capacity_mw()
+    for g in net.gens:
+        g.pg_mw = g.pmax_mw * min(total / cap, 1.0)
+    net.touch()
+
+
+def _merit_order_dispatch(net: Network, margin: float = 1.03) -> None:
+    """Load cheapest units first (proxy for the OPF dispatch pattern)."""
+    remaining = net.total_load_mw() * margin
+    order = sorted(
+        range(len(net.gens)), key=lambda i: net.gens[i].marginal_cost_at(0.0)
+    )
+    for i in order:
+        g = net.gens[i]
+        take = min(g.pmax_mw, max(remaining, 0.0))
+        g.pg_mw = take
+        remaining -= take
+    net.touch()
+
+
+def _solve_pf(net: Network):
+    from ...powerflow import newton  # local import: avoids a package cycle
+
+    return newton.solve_newton(net, tol=1e-8, max_iter=30)
+
+
+def _add_voltage_support(net: Network, vm: np.ndarray, target: float) -> int:
+    """Place capacitor banks at the saggiest buses (planner behaviour).
+
+    Returns how many buses were compensated this round.
+    """
+    weak = np.flatnonzero(vm < target)
+    if weak.size == 0:
+        return 0
+    for bus in weak:
+        # Size the bank to the local deficit: ~50 MVAr per 0.01 pu short.
+        net.buses[int(bus)].bs_mvar += max(5.0, (target - vm[bus]) * 5000.0 * 0.01)
+    net.touch()
+    return int(weak.size)
+
+
+def _ac_n_minus_1_flows(
+    net: Network, v_base: np.ndarray
+) -> tuple[np.ndarray, list[int]]:
+    """Worst AC post-outage apparent flow per branch (MVA), plus the list
+    of outages that failed to converge.  Islanding outages are skipped —
+    they are topological events, not flow events."""
+    from ...grid import graph as gridgraph
+    from ...powerflow import newton
+
+    n_total = len(net.branches)
+    worst = np.zeros(n_total)
+    diverged: list[int] = []
+    bridges = gridgraph.bridge_branches(net)
+    for bid in net.in_service_branch_ids():
+        if bid in bridges:
+            continue
+        net.set_branch_status(bid, False)
+        try:
+            res = newton.solve_newton(net, v0=v_base, max_iter=25, tol=1e-6)
+            if not res.converged:
+                from ...powerflow.recovery import solve_with_recovery
+
+                res, _ = solve_with_recovery(net, tol=1e-6)
+        finally:
+            net.set_branch_status(bid, True)
+        if not res.converged:
+            diverged.append(bid)
+            continue
+        s_worst = np.maximum(res.s_from_mva, res.s_to_mva)
+        for row, branch_id in enumerate(res.branch_ids):
+            if s_worst[row] > worst[branch_id]:
+                worst[branch_id] = s_worst[row]
+    return worst, diverged
+
+
+def _calibrate(net: Network, rng: np.random.Generator) -> None:
+    """Make the case electrically sound, then design the thermal ratings.
+
+    Stage 1 iterates dispatch + voltage support + load shaving until the
+    base case solves with healthy voltages *and* every non-islanding N-1
+    outage converges (no synthetic voltage-collapse artefacts).
+
+    Stage 2 sizes ratings from observed AC flows: base/merit dispatch
+    flows with >=25 % margin, then a per-branch coverage cap against the
+    worst AC post-outage flow so the most severe contingencies land in
+    the 110-170 % overload band the paper reports (ratings do not affect
+    the flows themselves, so one refinement pass is exact).
+    """
+    result = None
+    for round_ in range(_MAX_CALIBRATION_ROUNDS):
+        _proportional_dispatch(net)
+        result = _solve_pf(net)
+        if not result.converged:
+            net.scale_loads(0.92)
+            for g in net.gens:
+                g.vg_pu = min(g.vg_pu + 0.005, 1.055)
+            net.touch()
+            continue
+        if result.vm.min() < _MIN_CALIBRATED_VM:
+            if _add_voltage_support(net, result.vm, _MIN_CALIBRATED_VM) and round_ < 6:
+                continue
+            net.scale_loads(0.95)
+            continue
+        v_base = result.extras.get("v_complex")
+        worst_post, diverged = _ac_n_minus_1_flows(net, v_base)
+        if not diverged:
+            break
+        if round_ >= 7 and len(diverged) <= 2:
+            # A large meshed system may keep one or two genuinely
+            # collapse-prone outages no matter how much support we add —
+            # the real IEEE 300 is not N-1 clean either.  Accept them;
+            # the contingency engine reports them as severe outcomes.
+            break
+        # Post-outage collapse under specific outages: reinforce right at
+        # the stressed corridor — reactive support sized to the flow that
+        # must re-route — and shave a little load, then re-check.
+        flow_mva = np.maximum(result.s_from_mva, result.s_to_mva)
+        row_of = {int(b): i for i, b in enumerate(result.branch_ids)}
+        for bid in diverged:
+            br = net.branches[bid]
+            support = max(20.0, 0.3 * flow_mva[row_of.get(bid, 0)])
+            for bus in (br.from_bus, br.to_bus):
+                net.buses[bus].bs_mvar += support
+        _add_voltage_support(net, result.vm, _MIN_CALIBRATED_VM + 0.01)
+        net.scale_loads(0.96 if len(diverged) >= 3 else 0.98)
+        net.touch()
+    else:
+        raise RuntimeError(
+            f"synthetic case {net.metadata.case_name!r} failed to calibrate "
+            "within the round budget"
+        )
+    if result is None or not result.converged:
+        raise RuntimeError(
+            f"synthetic case {net.metadata.case_name!r} failed to calibrate: "
+            "base power flow does not converge"
+        )
+
+    flows = np.maximum(np.abs(result.s_from_mva), np.abs(result.s_to_mva))
+
+    _merit_order_dispatch(net)
+    merit = _solve_pf(net)
+    if merit.converged:
+        merit_flows = np.maximum(np.abs(merit.s_from_mva), np.abs(merit.s_to_mva))
+        flows = np.maximum(flows, merit_flows)
+
+    arr = net.compile()
+    k = rng.uniform(1.25, 1.60, size=arr.n_branch)
+    # Coverage caps: the worst post-outage loading of an undersized branch
+    # becomes 100*cap %, spread across ~[128, 168] %.
+    cap = rng.uniform(1.28, 1.68, size=len(net.branches))
+    floor_mva = 0.4 * float(np.median(flows[flows > 1e-6])) if np.any(flows > 1e-6) else 10.0
+    for row, branch_id in enumerate(arr.branch_ids):
+        bid = int(branch_id)
+        rate = max(k[row] * flows[row], floor_mva)
+        post = worst_post[bid]
+        if post > rate * cap[bid]:
+            rate = post / cap[bid]
+        net.branches[bid].rate_a_mva = float(np.ceil(rate))
+
+    # Leave the network in the proportional dispatch state: that is the
+    # documented "initial operating point" of the synthetic cases.
+    _proportional_dispatch(net)
+    final = _solve_pf(net)
+    if not final.converged:  # pragma: no cover - calibration guarantees this
+        raise RuntimeError(
+            f"synthetic case {net.metadata.case_name!r}: final state does not solve"
+        )
+
+    _ensure_opf_feasible(net)
+
+
+def _ensure_opf_feasible(net: Network) -> None:
+    """Remediate until the ACOPF converges on the finished case.
+
+    A case whose power flow solves can still be AC-OPF-infeasible: the
+    optimiser must hold every bus above 0.94 pu within generator Q
+    capability, which the (limit-blind) power flow never checked.  A
+    planner would fix that with reactive compensation where the failed
+    solve sags and more AVR headroom — so that is what we do.
+    """
+    from ...opf.acopf import solve_acopf
+    from ...opf.ipm import IPMOptions
+
+    for _ in range(8):
+        opf = solve_acopf(net, options=IPMOptions(max_iter=120))
+        if opf.converged:
+            return
+        # Reactive relief where the failed solve sagged...
+        _add_voltage_support(net, opf.vm, target=0.955)
+        for g in net.gens:
+            g.qmax_mvar *= 1.12
+            g.qmin_mvar *= 1.12
+        # ...and thermal relief on the corridors it could not decongest:
+        # the optimiser's stuck iterate shows exactly which ratings pinch.
+        for row, bid in enumerate(opf.branch_ids):
+            if opf.loading_percent[row] > 98.0:
+                flow = max(opf.s_from_mva[row], opf.s_to_mva[row])
+                br = net.branches[int(bid)]
+                br.rate_a_mva = max(br.rate_a_mva, float(np.ceil(flow / 0.95)))
+        net.touch()
+    raise RuntimeError(
+        f"synthetic case {net.metadata.case_name!r}: could not reach an "
+        "OPF-feasible design within the remediation budget"
+    )

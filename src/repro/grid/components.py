@@ -1,0 +1,172 @@
+"""Typed component records for the network model.
+
+Components are plain mutable dataclasses: the agent layer edits them
+directly (load adjustments, outages, limit changes) and the
+:class:`~repro.grid.network.Network` tracks a version counter so compiled
+solver views know when to rebuild.  Quantities follow the MATPOWER/PSTCA
+conventions the paper's tooling (pandapower) inherits:
+
+* power in MW / MVAr at this layer (converted to per-unit by solvers),
+* voltages in per-unit magnitude / degrees at construction time,
+* branch impedances already in per-unit on the system base.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class BusType(enum.IntEnum):
+    """Power-flow bus classification (MATPOWER numbering)."""
+
+    PQ = 1
+    PV = 2
+    SLACK = 3
+    ISOLATED = 4
+
+
+@dataclass
+class Bus:
+    """A network node.
+
+    ``index`` is the positional id used everywhere else in the library
+    (generators, loads and branches refer to buses by this integer).
+    """
+
+    index: int
+    name: str = ""
+    bus_type: BusType = BusType.PQ
+    base_kv: float = 138.0
+    vm_pu: float = 1.0
+    va_deg: float = 0.0
+    vmin_pu: float = 0.94
+    vmax_pu: float = 1.06
+    gs_mw: float = 0.0  # shunt conductance, MW consumed at V=1 pu
+    bs_mvar: float = 0.0  # shunt susceptance, MVAr injected at V=1 pu
+    area: int = 1
+    zone: int = 1
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"bus index must be non-negative, got {self.index}")
+        if self.vmin_pu > self.vmax_pu:
+            raise ValueError(
+                f"bus {self.index}: vmin {self.vmin_pu} > vmax {self.vmax_pu}"
+            )
+        if not self.name:
+            self.name = f"bus_{self.index}"
+
+
+@dataclass
+class Generator:
+    """A dispatchable generating unit with a polynomial cost curve.
+
+    ``cost_coeffs`` are polynomial coefficients in MATPOWER order
+    (highest degree first), e.g. ``(c2, c1, c0)`` gives
+    ``cost($/h) = c2*Pg^2 + c1*Pg + c0`` with ``Pg`` in MW.
+    """
+
+    bus: int
+    pg_mw: float = 0.0
+    qg_mvar: float = 0.0
+    pmin_mw: float = 0.0
+    pmax_mw: float = 0.0
+    qmin_mvar: float = -9999.0
+    qmax_mvar: float = 9999.0
+    vg_pu: float = 1.0
+    in_service: bool = True
+    cost_coeffs: tuple[float, ...] = (0.0, 0.0, 0.0)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.pmin_mw > self.pmax_mw:
+            raise ValueError(
+                f"generator at bus {self.bus}: pmin {self.pmin_mw} > pmax {self.pmax_mw}"
+            )
+        if self.qmin_mvar > self.qmax_mvar:
+            raise ValueError(
+                f"generator at bus {self.bus}: qmin {self.qmin_mvar} > qmax {self.qmax_mvar}"
+            )
+        if not self.name:
+            self.name = f"gen_b{self.bus}"
+
+    def cost_at(self, pg_mw: float) -> float:
+        """Evaluate the polynomial cost curve at ``pg_mw`` (in $/h)."""
+        total = 0.0
+        for c in self.cost_coeffs:
+            total = total * pg_mw + c
+        return total
+
+    def marginal_cost_at(self, pg_mw: float) -> float:
+        """Evaluate d(cost)/dPg at ``pg_mw`` (in $/MWh)."""
+        n = len(self.cost_coeffs)
+        total = 0.0
+        for i, c in enumerate(self.cost_coeffs[:-1]):
+            degree = n - 1 - i
+            total = total * pg_mw + degree * c
+        return total
+
+
+@dataclass
+class Load:
+    """A constant-power load at a bus."""
+
+    bus: int
+    pd_mw: float = 0.0
+    qd_mvar: float = 0.0
+    in_service: bool = True
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"load_b{self.bus}"
+
+
+@dataclass
+class Branch:
+    """A transmission line or transformer between two buses.
+
+    Impedances are per-unit on the system MVA base.  ``tap`` is the
+    off-nominal turns ratio at the *from* side (0 or 1 for lines) and
+    ``shift_deg`` the phase shift; ``is_transformer`` distinguishes the two
+    families the paper's Table 2 counts separately.
+    """
+
+    from_bus: int
+    to_bus: int
+    r_pu: float = 0.0
+    x_pu: float = 1e-4
+    b_pu: float = 0.0
+    rate_a_mva: float = 0.0  # 0 means unlimited
+    tap: float = 0.0  # 0 => nominal (treated as 1.0)
+    shift_deg: float = 0.0
+    in_service: bool = True
+    is_transformer: bool = False
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.from_bus == self.to_bus:
+            raise ValueError(f"branch {self.name!r}: from_bus == to_bus == {self.from_bus}")
+        if self.x_pu == 0.0 and self.r_pu == 0.0:
+            raise ValueError(
+                f"branch {self.from_bus}-{self.to_bus}: zero impedance is not representable"
+            )
+        if not self.name:
+            kind = "trafo" if self.is_transformer else "line"
+            self.name = f"{kind}_{self.from_bus}_{self.to_bus}"
+
+    @property
+    def effective_tap(self) -> float:
+        """Turns ratio with the MATPOWER convention that 0 means nominal."""
+        return self.tap if self.tap != 0.0 else 1.0
+
+
+@dataclass
+class NetworkMetadata:
+    """Free-form provenance describing where a case came from."""
+
+    case_name: str = ""
+    description: str = ""
+    source: str = ""
+    extras: dict = field(default_factory=dict)

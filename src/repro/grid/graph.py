@@ -1,0 +1,74 @@
+"""Topology analysis: connectivity, islanding, and outage feasibility.
+
+Contingency analysis must distinguish "outage splits the grid" (load is
+stranded, power flow on the full network is meaningless) from "outage is
+survivable"; these helpers answer that with NetworkX on the in-service
+branch set.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .network import Network
+
+
+def to_graph(net: Network, exclude_branches: frozenset[int] | set[int] = frozenset()) -> nx.MultiGraph:
+    """Undirected multigraph of in-service topology.
+
+    ``exclude_branches`` lets callers test hypothetical outages without
+    mutating the network.
+    """
+    g = nx.MultiGraph()
+    g.add_nodes_from(range(net.n_bus))
+    for i, br in enumerate(net.branches):
+        if br.in_service and i not in exclude_branches:
+            g.add_edge(br.from_bus, br.to_bus, branch_id=i)
+    return g
+
+
+def is_connected(net: Network, exclude_branches: frozenset[int] | set[int] = frozenset()) -> bool:
+    """True if every bus remains reachable from every other bus."""
+    g = to_graph(net, exclude_branches)
+    return nx.is_connected(g) if g.number_of_nodes() > 0 else False
+
+
+def islanded_buses(net: Network, exclude_branches: frozenset[int] | set[int] = frozenset()) -> list[set[int]]:
+    """Connected components *not* containing the slack bus.
+
+    Returns the stranded islands (possibly empty).  Each island's load is
+    what would be shed if the outage were sustained.
+    """
+    g = to_graph(net, exclude_branches)
+    slack = net.slack_bus()
+    return [comp for comp in nx.connected_components(g) if slack not in comp]
+
+
+def stranded_load_mw(net: Network, exclude_branches: frozenset[int] | set[int]) -> float:
+    """MW of in-service load in islands separated from the slack."""
+    islands = islanded_buses(net, exclude_branches)
+    if not islands:
+        return 0.0
+    stranded = set().union(*islands)
+    return sum(
+        ld.pd_mw for ld in net.loads if ld.in_service and ld.bus in stranded
+    )
+
+
+def bridge_branches(net: Network) -> set[int]:
+    """Branch ids whose single outage disconnects the network.
+
+    Computed via graph bridges, with the multigraph subtlety handled:
+    parallel branches between the same bus pair are never bridges.
+    """
+    g = to_graph(net)
+    simple = nx.Graph(g)
+    bridges = set(frozenset(e) for e in nx.bridges(simple)) if g.number_of_edges() else set()
+    out: set[int] = set()
+    for i, br in enumerate(net.branches):
+        if not br.in_service:
+            continue
+        pair = frozenset((br.from_bus, br.to_bus))
+        if pair in bridges and g.number_of_edges(br.from_bus, br.to_bus) == 1:
+            out.add(i)
+    return out

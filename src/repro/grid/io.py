@@ -1,0 +1,195 @@
+"""Case serialisation: MATPOWER-style dicts and JSON round-tripping.
+
+The interchange format mirrors a MATPOWER case struct (``bus``, ``gen``,
+``branch``, ``gencost`` row conventions) because that is the lingua franca
+of the IEEE PSTCA cases the paper evaluates on; it also makes the embedded
+IEEE-14 data auditable against any published copy.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .components import BusType, NetworkMetadata
+from .network import Network
+
+# MATPOWER bus-table column meanings used here:
+#   [bus_i, type, Pd, Qd, Gs, Bs, area, Vm, Va, baseKV, zone, Vmax, Vmin]
+# gen table: [bus, Pg, Qg, Qmax, Qmin, Vg, mBase, status, Pmax, Pmin]
+# branch:    [fbus, tbus, r, x, b, rateA, rateB, rateC, ratio, angle, status]
+# gencost:   [2, startup, shutdown, n, c(n-1) ... c0]   (polynomial only)
+
+
+def from_matpower(case: dict, name: str = "", source: str = "") -> Network:
+    """Build a :class:`Network` from a MATPOWER-style case dict.
+
+    Bus numbers may be arbitrary; they are remapped to contiguous 0-based
+    indices in row order.  Transformers are identified the way pandapower
+    does when importing PSTCA data: any branch with an off-nominal tap
+    ratio, or whose endpoints sit at different voltage levels.
+    """
+    net = Network(
+        base_mva=float(case.get("baseMVA", 100.0)),
+        metadata=NetworkMetadata(case_name=name, source=source),
+    )
+    bus_rows = case["bus"]
+    id_map: dict[int, int] = {}
+    for row in bus_rows:
+        ext_id = int(row[0])
+        if ext_id in id_map:
+            raise ValueError(f"duplicate bus number {ext_id} in case data")
+        bus = net.add_bus(
+            name=f"bus_{ext_id}",
+            bus_type=BusType(int(row[1])),
+            gs_mw=float(row[4]),
+            bs_mvar=float(row[5]),
+            area=int(row[6]),
+            vm_pu=float(row[7]),
+            va_deg=float(row[8]),
+            base_kv=float(row[9]),
+            zone=int(row[10]),
+            vmax_pu=float(row[11]),
+            vmin_pu=float(row[12]),
+        )
+        id_map[ext_id] = bus.index
+        pd, qd = float(row[2]), float(row[3])
+        if pd != 0.0 or qd != 0.0:
+            net.add_load(bus.index, pd_mw=pd, qd_mvar=qd)
+
+    gencost = case.get("gencost")
+    for i, row in enumerate(case.get("gen", [])):
+        coeffs: tuple[float, ...] = (0.0, 0.0, 0.0)
+        if gencost is not None:
+            crow = gencost[i]
+            if int(crow[0]) != 2:
+                raise ValueError(
+                    "only polynomial (model 2) generator costs are supported"
+                )
+            n = int(crow[3])
+            coeffs = tuple(float(c) for c in crow[4 : 4 + n])
+        net.add_gen(
+            bus=id_map[int(row[0])],
+            pg_mw=float(row[1]),
+            qg_mvar=float(row[2]),
+            qmax_mvar=float(row[3]),
+            qmin_mvar=float(row[4]),
+            vg_pu=float(row[5]),
+            in_service=int(row[7]) > 0,
+            pmax_mw=float(row[8]),
+            pmin_mw=float(row[9]),
+            cost_coeffs=coeffs,
+        )
+
+    kv = {b.index: b.base_kv for b in net.buses}
+    for row in case.get("branch", []):
+        f, t = id_map[int(row[0])], id_map[int(row[1])]
+        ratio = float(row[8])
+        is_trafo = ratio != 0.0 or abs(kv[f] - kv[t]) > 1e-9
+        net.add_branch(
+            f,
+            t,
+            r_pu=float(row[2]),
+            x_pu=float(row[3]),
+            b_pu=float(row[4]),
+            rate_a_mva=float(row[5]),
+            tap=ratio,
+            shift_deg=float(row[9]),
+            in_service=int(row[10]) > 0,
+            is_transformer=is_trafo,
+        )
+    return net
+
+
+def to_matpower(net: Network) -> dict:
+    """Export a :class:`Network` to the MATPOWER-style dict format."""
+    bus_rows = []
+    pd = {b.index: 0.0 for b in net.buses}
+    qd = {b.index: 0.0 for b in net.buses}
+    for ld in net.loads:
+        if ld.in_service:
+            pd[ld.bus] += ld.pd_mw
+            qd[ld.bus] += ld.qd_mvar
+    for b in net.buses:
+        bus_rows.append(
+            [
+                b.index + 1,
+                int(b.bus_type),
+                pd[b.index],
+                qd[b.index],
+                b.gs_mw,
+                b.bs_mvar,
+                b.area,
+                b.vm_pu,
+                b.va_deg,
+                b.base_kv,
+                b.zone,
+                b.vmax_pu,
+                b.vmin_pu,
+            ]
+        )
+    gen_rows, cost_rows = [], []
+    for g in net.gens:
+        gen_rows.append(
+            [
+                g.bus + 1,
+                g.pg_mw,
+                g.qg_mvar,
+                g.qmax_mvar,
+                g.qmin_mvar,
+                g.vg_pu,
+                net.base_mva,
+                1 if g.in_service else 0,
+                g.pmax_mw,
+                g.pmin_mw,
+            ]
+        )
+        cost_rows.append([2, 0.0, 0.0, len(g.cost_coeffs), *g.cost_coeffs])
+    branch_rows = []
+    for br in net.branches:
+        branch_rows.append(
+            [
+                br.from_bus + 1,
+                br.to_bus + 1,
+                br.r_pu,
+                br.x_pu,
+                br.b_pu,
+                br.rate_a_mva,
+                0.0,
+                0.0,
+                br.tap,
+                br.shift_deg,
+                1 if br.in_service else 0,
+            ]
+        )
+    return {
+        "baseMVA": net.base_mva,
+        "bus": bus_rows,
+        "gen": gen_rows,
+        "branch": branch_rows,
+        "gencost": cost_rows,
+    }
+
+
+def save_json(net: Network, path: str | Path) -> None:
+    """Write a case to disk as JSON (MATPOWER-dict payload + metadata)."""
+    payload = {
+        "format": "repro-case-v1",
+        "name": net.metadata.case_name,
+        "description": net.metadata.description,
+        "source": net.metadata.source,
+        "case": to_matpower(net),
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_json(path: str | Path) -> Network:
+    """Read a case previously written by :func:`save_json`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "repro-case-v1":
+        raise ValueError(f"{path}: not a repro-case-v1 file")
+    net = from_matpower(
+        payload["case"], name=payload.get("name", ""), source=payload.get("source", "")
+    )
+    net.metadata.description = payload.get("description", "")
+    return net

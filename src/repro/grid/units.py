@@ -1,0 +1,51 @@
+"""Unit conversion helpers for the per-unit system.
+
+All solver-facing code works in per-unit on the system MVA base; the
+public/agent-facing API speaks MW, MVAr, and degrees.  Keeping the
+conversions in one module avoids the classic "is this MW or p.u.?" class
+of bug: every boundary crossing calls one of these functions.
+"""
+
+from __future__ import annotations
+
+import math
+
+DEFAULT_BASE_MVA = 100.0
+
+# Violation thresholds used throughout the paper (Section 3.2.3).
+DEFAULT_VMIN_PU = 0.94
+DEFAULT_VMAX_PU = 1.06
+
+#: Max power-balance mismatch accepted as "validated" (paper Section 3.2.1).
+POWER_BALANCE_TOL_PU = 1e-4
+
+
+def mw_to_pu(mw: float, base_mva: float = DEFAULT_BASE_MVA) -> float:
+    """Convert a megawatt quantity to per-unit on ``base_mva``."""
+    return mw / base_mva
+
+
+def pu_to_mw(pu: float, base_mva: float = DEFAULT_BASE_MVA) -> float:
+    """Convert a per-unit power quantity on ``base_mva`` back to megawatts."""
+    return pu * base_mva
+
+
+def deg_to_rad(deg: float) -> float:
+    """Convert degrees to radians (bus angles are stored in radians)."""
+    return deg * math.pi / 180.0
+
+
+def rad_to_deg(rad: float) -> float:
+    """Convert radians to degrees for display at the API edge."""
+    return rad * 180.0 / math.pi
+
+
+def loading_percent(apparent_mva: float, rate_mva: float) -> float:
+    """Branch loading as a percentage of its MVA rating.
+
+    Unrated branches (``rate_mva <= 0``) report 0 % by convention, mirroring
+    how MATPOWER/pandapower treat a zero rating as "unlimited".
+    """
+    if rate_mva <= 0.0:
+        return 0.0
+    return 100.0 * apparent_mva / rate_mva

@@ -1,0 +1,6 @@
+"""Instrumentation bench (DESIGN.md S10): run logging and claim auditing."""
+
+from .audit import AuditResult, audit_narration
+from .runlog import RequestRecord, RunLogger
+
+__all__ = ["AuditResult", "RequestRecord", "RunLogger", "audit_narration"]

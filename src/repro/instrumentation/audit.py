@@ -1,0 +1,112 @@
+"""Numerical-claim auditing: detect "factual slips" in narrated replies.
+
+The paper's trust story is that every number in a narrative maps to a
+field in a stored tool output.  This module enforces it mechanically:
+extract the numeric literals from a reply and check each appears (within
+rounding) somewhere in the structured payloads the reply was generated
+from.  Numbers with no provenance are *factual slips* — the reliability
+signal the instrumentation bench tracks.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+_NUMBER_RE = re.compile(r"-?\d{1,3}(?:,\d{3})+(?:\.\d+)?|-?\d+\.\d+|-?\d+")
+
+#: Small integers appear in prose for counting ("3 overloads", rank "1.").
+_PROSE_INT_LIMIT = 400
+
+
+@dataclass
+class AuditResult:
+    claims: int
+    grounded: int
+    slips: list[float] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.slips
+
+
+def _collect_numbers(obj, out: set[float]) -> None:
+    if isinstance(obj, bool):
+        return
+    if isinstance(obj, (int, float)):
+        if math.isfinite(obj):
+            out.add(float(obj))
+        return
+    if isinstance(obj, str):
+        for tok in _NUMBER_RE.findall(obj):
+            try:
+                out.add(float(tok.replace(",", "")))
+            except ValueError:
+                pass
+        return
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            _collect_numbers(k, out)
+            _collect_numbers(v, out)
+        return
+    if isinstance(obj, (list, tuple, set)):
+        for v in obj:
+            _collect_numbers(v, out)
+
+
+def _matches(value: float, sources: set[float]) -> bool:
+    """True if ``value`` equals any source number under display rounding."""
+    for s in sources:
+        if value == s:
+            return True
+        # Rounded-for-display forms: 0..4 decimal places.
+        for nd in range(5):
+            if abs(round(s, nd) - value) < 10 ** (-nd) / 2 + 1e-12:
+                return True
+        # Percentage/sign conventions.
+        if abs(abs(s) - abs(value)) < 5e-3:
+            return True
+    return False
+
+
+def audit_narration(text: str, payloads: list[dict]) -> AuditResult:
+    """Check every numeric claim in ``text`` against the tool payloads.
+
+    Derived quantities the narration layer legitimately computes (deltas,
+    percentages of payload values) are also accepted: differences and
+    ratios of payload-number pairs are added to the grounding set.
+    """
+    sources: set[float] = set()
+    for p in payloads:
+        _collect_numbers(p, sources)
+
+    # Derived forms: pairwise differences and percentage changes, capped
+    # for tractability on large payloads.
+    base = sorted(sources, key=abs, reverse=True)[:60]
+    derived: set[float] = set()
+    for i, a in enumerate(base):
+        for b in base[i + 1:]:
+            derived.add(a - b)
+            derived.add(b - a)
+            if b:
+                derived.add(100.0 * (a - b) / b)
+            if a:
+                derived.add(100.0 * (b - a) / a)
+    sources |= derived
+
+    claims = 0
+    grounded = 0
+    slips: list[float] = []
+    for tok in _NUMBER_RE.findall(text):
+        try:
+            value = float(tok.replace(",", ""))
+        except ValueError:
+            continue
+        claims += 1
+        is_prose_int = "." not in tok and abs(value) <= _PROSE_INT_LIMIT
+        if is_prose_int or _matches(value, sources):
+            grounded += 1
+        else:
+            slips.append(value)
+    return AuditResult(claims=claims, grounded=grounded, slips=slips)

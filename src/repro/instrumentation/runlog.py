@@ -1,0 +1,87 @@
+"""Session instrumentation: solver metrics, LLM latency, token usage.
+
+The paper positions GridMind as "an instrumentation bench, logging solver
+metrics plus LLM backend latency, token usage, and occasional factual
+slips so reliability trends can be monitored".  ``RunLogger`` is that
+bench: the session feeds it one record per user request and per LLM/tool
+call, and the benchmark harnesses aggregate its summaries into the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class RequestRecord:
+    """One user request end to end."""
+
+    model: str
+    request: str
+    agents: list[str]
+    success: bool
+    latency_virtual_s: float  # simulated LLM latency
+    wall_s: float  # real compute time (solvers + harness)
+    total_s: float  # virtual + wall: what a user would experience
+    prompt_tokens: int
+    completion_tokens: int
+    n_tool_calls: int
+    n_tool_failures: int
+    factual_slips: int = 0
+
+
+@dataclass
+class RunLogger:
+    """Accumulates per-request records and produces summary statistics."""
+
+    records: list[RequestRecord] = field(default_factory=list)
+
+    def log(self, record: RequestRecord) -> None:
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def success_rate(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(1 for r in self.records if r.success) / len(self.records)
+
+    def total_times(self) -> np.ndarray:
+        return np.array([r.total_s for r in self.records])
+
+    def token_totals(self) -> tuple[int, int]:
+        return (
+            sum(r.prompt_tokens for r in self.records),
+            sum(r.completion_tokens for r in self.records),
+        )
+
+    def summary(self) -> dict:
+        """Aggregate view in the shape the benchmarks print."""
+        times = self.total_times()
+        prompt, completion = self.token_totals()
+        return {
+            "n_requests": self.n_requests,
+            "success_rate": round(self.success_rate, 4),
+            "time_mean_s": round(float(times.mean()), 3) if times.size else 0.0,
+            "time_min_s": round(float(times.min()), 3) if times.size else 0.0,
+            "time_max_s": round(float(times.max()), 3) if times.size else 0.0,
+            "time_median_s": round(float(np.median(times)), 3) if times.size else 0.0,
+            "prompt_tokens": prompt,
+            "completion_tokens": completion,
+            "tool_calls": sum(r.n_tool_calls for r in self.records),
+            "tool_failures": sum(r.n_tool_failures for r in self.records),
+            "factual_slips": sum(r.factual_slips for r in self.records),
+        }
+
+    def by_model(self) -> dict[str, dict]:
+        out: dict[str, RunLogger] = {}
+        for r in self.records:
+            out.setdefault(r.model, RunLogger()).log(r)
+        return {m: lg.summary() for m, lg in out.items()}

@@ -1,0 +1,47 @@
+"""Simulated LLM backend (DESIGN.md S7).
+
+Stands in for the paper's OpenAI/Anthropic APIs: same chat + tool-calling
+protocol, deterministic rule-grammar planning, per-model latency/verbosity
+profiles calibrated to the paper's measurements.  See DESIGN.md §1 for the
+substitution rationale.
+"""
+
+from .base import (
+    ChatMessage,
+    LLMBackend,
+    LLMResponse,
+    TokenUsage,
+    ToolCallRequest,
+    ToolSpec,
+)
+from .latency import LatencyModel, VirtualClock, rng_for
+from .nlu import Intent, ParsedIntent, classify, extract_entities, parse_request
+from .profiles import PAPER_MODELS, PROFILES, ModelProfile, get_profile
+from .simulated import CONTEXT_MARKER, SimulatedLLM
+from .tokens import estimate_prompt_tokens, estimate_text_tokens, usage_for
+
+__all__ = [
+    "CONTEXT_MARKER",
+    "ChatMessage",
+    "Intent",
+    "LLMBackend",
+    "LLMResponse",
+    "LatencyModel",
+    "ModelProfile",
+    "PAPER_MODELS",
+    "PROFILES",
+    "ParsedIntent",
+    "SimulatedLLM",
+    "TokenUsage",
+    "ToolCallRequest",
+    "ToolSpec",
+    "VirtualClock",
+    "classify",
+    "estimate_prompt_tokens",
+    "estimate_text_tokens",
+    "extract_entities",
+    "get_profile",
+    "parse_request",
+    "rng_for",
+    "usage_for",
+]

@@ -1,0 +1,97 @@
+"""Chat / tool-calling protocol types for LLM backends.
+
+Mirrors the de-facto provider API shape (messages with roles, JSON-schema
+tool specs, tool-call requests inside assistant messages) so the agent
+layer is written exactly as it would be against OpenAI/Anthropic — only
+the backend object differs (here: the simulated model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+
+@dataclass
+class ToolSpec:
+    """A callable capability advertised to the model."""
+
+    name: str
+    description: str
+    parameters: dict  # JSON schema for the arguments object
+
+    def signature_text(self) -> str:
+        props = self.parameters.get("properties", {})
+        args = ", ".join(props)
+        return f"{self.name}({args})"
+
+
+@dataclass
+class ToolCallRequest:
+    """The model asking the harness to execute a tool."""
+
+    call_id: str
+    name: str
+    arguments: dict = field(default_factory=dict)
+
+
+@dataclass
+class ChatMessage:
+    """One turn of conversation.
+
+    ``role`` is one of ``system`` / ``user`` / ``assistant`` / ``tool``;
+    tool messages carry the executed call's id and the JSON result text.
+    """
+
+    role: str
+    content: str = ""
+    tool_calls: list[ToolCallRequest] = field(default_factory=list)
+    tool_call_id: str | None = None
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        valid = {"system", "user", "assistant", "tool"}
+        if self.role not in valid:
+            raise ValueError(f"invalid message role {self.role!r}; expected one of {sorted(valid)}")
+
+
+@dataclass
+class TokenUsage:
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+    def __add__(self, other: "TokenUsage") -> "TokenUsage":
+        return TokenUsage(
+            self.prompt_tokens + other.prompt_tokens,
+            self.completion_tokens + other.completion_tokens,
+        )
+
+
+@dataclass
+class LLMResponse:
+    """One completion: either tool calls to execute, or final text."""
+
+    message: ChatMessage
+    usage: TokenUsage
+    latency_s: float  # virtual seconds charged for this completion
+    model: str
+
+    @property
+    def wants_tools(self) -> bool:
+        return bool(self.message.tool_calls)
+
+
+@runtime_checkable
+class LLMBackend(Protocol):
+    """What the agent layer requires of a language model."""
+
+    name: str
+
+    def complete(
+        self, messages: list[ChatMessage], tools: list[ToolSpec]
+    ) -> LLMResponse:  # pragma: no cover - protocol
+        ...

@@ -1,0 +1,62 @@
+"""Virtual-clock latency simulation for the model profiles.
+
+Figure 3 / Table 1 timings are dominated by remote-LLM latency (8-90 s per
+task).  Re-sleeping those in benchmarks would be wasteful, so completions
+charge sampled latencies to a :class:`VirtualClock`; solver time is
+measured on the real clock and added by the session layer.  Distributions
+are lognormal — the standard shape for service latencies — seeded per
+(model, session) for reproducibility.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class VirtualClock:
+    """Monotone simulated-time accumulator (seconds)."""
+
+    now: float = 0.0
+
+    def advance(self, dt: float) -> float:
+        if dt < 0:
+            raise ValueError(f"cannot advance the clock by {dt} s")
+        self.now += dt
+        return self.now
+
+    def reset(self) -> None:
+        self.now = 0.0
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Lognormal completion-latency model.
+
+    ``median_s`` is the distribution median; ``sigma`` the log-space
+    standard deviation (0.2 = tight, 0.5 = heavy-tailed).
+    """
+
+    median_s: float
+    sigma: float = 0.25
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.median_s <= 0:
+            return 0.0
+        return float(rng.lognormal(mean=math.log(self.median_s), sigma=self.sigma))
+
+    def quantile(self, q: float) -> float:
+        """Analytic quantile (used by tests to sanity-check calibration)."""
+        from scipy.stats import norm
+
+        return self.median_s * math.exp(self.sigma * float(norm.ppf(q)))
+
+
+def rng_for(model_name: str, seed: int) -> np.random.Generator:
+    """Deterministic per-(model, seed) RNG stream."""
+    mix = zlib.crc32(model_name.encode("utf-8")) ^ (seed * 0x9E3779B1 & 0xFFFFFFFF)
+    return np.random.default_rng(mix)

@@ -1,0 +1,206 @@
+"""Rule-grammar natural-language understanding for power-system requests.
+
+This is the "understanding" half of the simulated LLM: intent
+classification plus entity extraction (case ids, bus numbers, MW values,
+outage scopes, top-N counts) over the kinds of utterances the paper's
+dialogues show.  Multi-step requests ("solve IEEE 118, then run
+contingency analysis") are segmented into ordered clauses so the planner
+agent can route each to the right domain agent.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+
+from ..grid.cases import canonical_case_name
+
+
+class Intent(enum.Enum):
+    SOLVE_CASE = "solve_case"
+    MODIFY_LOAD = "modify_load"
+    NETWORK_STATUS = "network_status"
+    RUN_CONTINGENCY = "run_contingency"
+    ANALYZE_OUTAGE = "analyze_outage"
+    ECONOMIC_IMPACT = "economic_impact"
+    SOLUTION_QUALITY = "solution_quality"
+    HELP = "help"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class ParsedIntent:
+    """One classified clause with its extracted entities."""
+
+    intent: Intent
+    entities: dict = field(default_factory=dict)
+    confidence: float = 1.0
+    text: str = ""
+
+    def entity(self, key: str, default=None):
+        return self.entities.get(key, default)
+
+
+# ----------------------------------------------------------------------
+# entity extractors
+# ----------------------------------------------------------------------
+
+_BUS_RE = re.compile(r"\bbus(?:es)?\s*#?\s*(\d+)", re.I)
+_MW_RE = re.compile(r"(-?\d+(?:\.\d+)?)\s*(?:mw|megawatts?)\b", re.I)
+_PCT_RE = re.compile(r"(-?\d+(?:\.\d+)?)\s*(?:%|percent)", re.I)
+_BETWEEN_RE = re.compile(
+    r"between\s+bus(?:es)?\s*#?\s*(\d+)\s+and\s+(?:bus\s*#?\s*)?(\d+)", re.I
+)
+_LINE_PAIR_RE = re.compile(r"\b(?:line|branch|transformer)\s+(\d+)\s*[-–to]+\s*(\d+)", re.I)
+_BRANCH_IDX_RE = re.compile(r"\b(?:branch|line)\s*(?:index|idx|#)\s*(\d+)", re.I)
+_TOP_N_RE = re.compile(r"\btop[\s-]*(\d+)", re.I)
+_CASE_HINT_RE = re.compile(r"\b(?:ieee|case)[\s_\-]*(\d+)|(\d+)[\s-]*bus\b", re.I)
+
+
+def extract_case(text: str) -> str | None:
+    """Find a test-case mention and canonicalise it via the registry."""
+    m = _CASE_HINT_RE.search(text)
+    if not m:
+        return None
+    number = m.group(1) or m.group(2)
+    return canonical_case_name(number)
+
+
+def extract_entities(text: str) -> dict:
+    """All recognisable entities in one pass (intent-independent)."""
+    ents: dict = {}
+    case = extract_case(text)
+    if case:
+        ents["case"] = case
+
+    pair = _BETWEEN_RE.search(text) or _LINE_PAIR_RE.search(text)
+    if pair:
+        ents["from_bus"] = int(pair.group(1))
+        ents["to_bus"] = int(pair.group(2))
+
+    m = _BRANCH_IDX_RE.search(text)
+    if m:
+        ents["branch_id"] = int(m.group(1))
+
+    buses = _BUS_RE.findall(text)
+    if buses and "from_bus" not in ents:
+        ents["bus"] = int(buses[0])
+
+    m = _MW_RE.search(text)
+    if m:
+        ents["mw"] = float(m.group(1))
+
+    m = _PCT_RE.search(text)
+    if m:
+        ents["percent"] = float(m.group(1))
+
+    m = _TOP_N_RE.search(text)
+    if m:
+        ents["top_n"] = int(m.group(1))
+
+    lowered = text.lower()
+    if re.search(r"\b(increase|raise|add|grow)\b", lowered):
+        ents["direction"] = "increase"
+    elif re.search(r"\b(decrease|reduce|lower|drop|cut|shed)\b", lowered):
+        ents["direction"] = "decrease"
+    if re.search(r"\bto\s+-?\d", lowered) and "mw" in ents:
+        ents["mode"] = "set"
+    elif re.search(r"\bby\s+-?\d", lowered):
+        ents["mode"] = "delta"
+    elif "mw" in ents:
+        ents["mode"] = "set"
+    return ents
+
+
+# ----------------------------------------------------------------------
+# intent classification
+# ----------------------------------------------------------------------
+
+_INTENT_RULES: list[tuple[Intent, re.Pattern]] = [
+    (Intent.ECONOMIC_IMPACT, re.compile(
+        r"(economic|cost)\s+(impact|effect|consequence)|"
+        r"impact.*\b(cost|objective)|how much (more|less).*cost", re.I)),
+    (Intent.ANALYZE_OUTAGE, re.compile(
+        r"(outage|remove|removing|trip|tripping|take out|lose|losing|"
+        r"disconnect)\b.*\b(line|branch|transformer)|"
+        r"\b(line|branch|transformer)\b.*\b(outage|out of service)|"
+        r"analy[sz]e\s+(the\s+)?(specific\s+)?contingenc(y|ies)\s+(of|for)", re.I)),
+    (Intent.RUN_CONTINGENCY, re.compile(
+        r"contingenc|n-?1\b|t-?1\b|critical\s+(line|element|contingen|transmission)|"
+        r"reliab|security\s+assess|most\s+critical|vulnerab|weak(est)?\s+(point|element|line)",
+        re.I)),
+    (Intent.MODIFY_LOAD, re.compile(
+        r"(increase|decrease|raise|reduce|lower|set|change|modify|adjust|scale)"
+        r".*\b(load|demand)|\b(load|demand)\b.*\b(to|by)\s+-?\d", re.I)),
+    (Intent.SOLUTION_QUALITY, re.compile(
+        r"(quality|how good|score|assess)\b.*\b(solution|dispatch|result)|"
+        r"solution\s+quality", re.I)),
+    (Intent.NETWORK_STATUS, re.compile(
+        r"\b(status|state|summary|summarize|describe)\b.*\b(network|system|case|grid)|"
+        r"network\s+status|current\s+(status|state)|what('| i)s loaded", re.I)),
+    (Intent.SOLVE_CASE, re.compile(
+        r"\b(solve|run|execute|optimi[sz]e|dispatch|compute)\b|"
+        r"\b(acopf|opf|optimal\s+power\s+flow|power\s+flow)\b", re.I)),
+    (Intent.HELP, re.compile(r"\b(help|what can you do|capabilit|usage)\b", re.I)),
+]
+
+_CLAUSE_SPLIT_RE = re.compile(
+    r"(?:\bthen\b|\bafter that\b|\bfollowed by\b|;|\.\s+(?=[A-Z]))", re.I
+)
+
+
+def classify(text: str) -> ParsedIntent:
+    """Classify a single clause."""
+    ents = extract_entities(text)
+    for intent, pattern in _INTENT_RULES:
+        if pattern.search(text):
+            conf = 0.9
+            # Disambiguation: "solve ... contingency" is a CA request.
+            if intent == Intent.SOLVE_CASE and re.search(r"contingenc", text, re.I):
+                intent = Intent.RUN_CONTINGENCY
+            # "remove line X and re-solve / impact on cost" is economic.
+            if intent == Intent.ANALYZE_OUTAGE and re.search(
+                r"cost|economic|dispatch|re-?solve", text, re.I
+            ):
+                intent = Intent.ECONOMIC_IMPACT
+            return ParsedIntent(intent=intent, entities=ents, confidence=conf, text=text)
+    # A bare case mention ("IEEE 118") defaults to solving it.
+    if "case" in ents:
+        return ParsedIntent(Intent.SOLVE_CASE, ents, confidence=0.5, text=text)
+    return ParsedIntent(Intent.UNKNOWN, ents, confidence=0.2, text=text)
+
+
+def parse_request(text: str) -> list[ParsedIntent]:
+    """Segment a user request into ordered intents.
+
+    Clauses are split on sequencing markers; a trailing "identify critical
+    elements" style clause folds into a preceding contingency request
+    rather than becoming a separate unknown.
+    """
+    clauses = [c.strip() for c in _CLAUSE_SPLIT_RE.split(text) if c and c.strip()]
+    if not clauses:
+        return [ParsedIntent(Intent.UNKNOWN, {}, 0.0, text)]
+
+    parsed = [classify(c) for c in clauses]
+
+    # Fold "and identify/rank critical elements" fragments into CA.
+    merged: list[ParsedIntent] = []
+    for p in parsed:
+        if (
+            merged
+            and p.intent in (Intent.UNKNOWN, Intent.RUN_CONTINGENCY)
+            and merged[-1].intent == Intent.RUN_CONTINGENCY
+        ):
+            merged[-1].entities.update(p.entities)
+            continue
+        merged.append(p)
+
+    # Entity inheritance: later clauses inherit the case of earlier ones.
+    case = None
+    for p in merged:
+        if "case" in p.entities:
+            case = p.entities["case"]
+        elif case is not None:
+            p.entities["inherited_case"] = case
+    return merged

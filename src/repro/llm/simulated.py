@@ -1,0 +1,414 @@
+"""The simulated language model: deterministic plan-and-call policy.
+
+``SimulatedLLM`` implements the :class:`~repro.llm.base.LLMBackend`
+protocol the way a provider API would behave in an agent loop — it is
+*stateless across calls*, deriving everything from the message history:
+
+1. parse the latest user message with the rule-grammar NLU,
+2. plan the tool-call sequence its intent requires (consulting the
+   structured context summary the agent injects, so fresh solutions are
+   reused instead of re-solved — the paper's memory behaviour),
+3. on each call, either emit the next tool call of the plan or, when all
+   results are in, narrate them with every number drawn from the returned
+   JSON (no fabrication path exists by construction).
+
+Model profiles modulate latency (virtual clock), verbosity, token
+throughput and the contingency-ranking emphasis; the numerical answers
+come from the tools and are therefore profile-independent — the paper's
+headline result.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .base import ChatMessage, LLMResponse, ToolCallRequest, ToolSpec
+from .latency import LatencyModel, VirtualClock, rng_for
+from .nlu import Intent, ParsedIntent, classify
+from . import narration
+from .profiles import ModelProfile, get_profile
+from .tokens import usage_for
+
+#: Marker the agent layer uses when injecting structured context summaries.
+CONTEXT_MARKER = "[context]"
+
+
+@dataclass
+class PlannedStep:
+    """One tool invocation the policy intends to make."""
+
+    tool: str
+    arguments: dict = field(default_factory=dict)
+
+
+class SimulatedLLM:
+    """Deterministic simulated chat model with tool calling."""
+
+    def __init__(
+        self,
+        model: str | ModelProfile = "gpt-5-mini",
+        *,
+        seed: int = 0,
+        clock: VirtualClock | None = None,
+    ) -> None:
+        self.profile = model if isinstance(model, ModelProfile) else get_profile(model)
+        self.name = self.profile.name
+        self.clock = clock or VirtualClock()
+        self._rng = rng_for(self.profile.name, seed)
+        self._call_counter = 0
+
+    # ------------------------------------------------------------------
+    def complete(
+        self, messages: list[ChatMessage], tools: list[ToolSpec]
+    ) -> LLMResponse:
+        """Produce the next assistant message for this conversation."""
+        tool_names = {t.name for t in tools}
+        latency_model = self._latency_model(tool_names)
+
+        user_idx = self._last_user_index(messages)
+        if user_idx is None:
+            reply = ChatMessage(
+                role="assistant",
+                content=(
+                    "Hello! I can solve ACOPF cases, modify loads, and run N-1 "
+                    "contingency analysis on the IEEE test systems."
+                ),
+            )
+            return self._respond(messages, reply, latency_model)
+
+        user_msg = messages[user_idx]
+        context = self._latest_context(messages[: user_idx + 1])
+        parsed = classify(user_msg.content)
+
+        plan = self._plan(parsed, context, tool_names)
+        if plan is None:  # clarification needed; final text, no tools
+            missing = self._missing_entity(parsed, context)
+            reply = ChatMessage(
+                role="assistant", content=narration.narrate_clarification(missing)
+            )
+            return self._respond(messages, reply, latency_model)
+
+        issued, results = self._progress(messages[user_idx + 1 :])
+
+        # Surface tool errors instead of continuing a broken plan.
+        if results:
+            last = results[-1]
+            if isinstance(last.get("payload"), dict) and "error" in last["payload"]:
+                reply = ChatMessage(
+                    role="assistant",
+                    content=narration.narrate_error(
+                        str(last["payload"]["error"]), last["tool"]
+                    ),
+                )
+                return self._respond(messages, reply, latency_model)
+
+        if issued < len(plan):
+            step = plan[issued]
+            self._call_counter += 1
+            reply = ChatMessage(
+                role="assistant",
+                content=self._reasoning_preamble(parsed, step),
+                tool_calls=[
+                    ToolCallRequest(
+                        call_id=f"call_{self._call_counter}",
+                        name=step.tool,
+                        arguments=step.arguments,
+                    )
+                ],
+            )
+            return self._respond(messages, reply, latency_model)
+
+        reply = ChatMessage(
+            role="assistant",
+            content=self._narrate(parsed, context, results),
+        )
+        return self._respond(messages, reply, latency_model)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _latency_model(self, tool_names: set[str]) -> LatencyModel:
+        is_ca_task = any(
+            t in tool_names
+            for t in ("run_n1_contingency_analysis", "analyze_specific_contingency")
+        )
+        return self.profile.deep_latency if is_ca_task else self.profile.chat_latency
+
+    def _respond(
+        self,
+        messages: list[ChatMessage],
+        reply: ChatMessage,
+        latency_model: LatencyModel,
+    ) -> LLMResponse:
+        latency = latency_model.sample(self._rng)
+        usage = usage_for(messages, reply)
+        latency += usage.completion_tokens / self.profile.output_tokens_per_s
+        self.clock.advance(latency)
+        return LLMResponse(
+            message=reply, usage=usage, latency_s=latency, model=self.profile.name
+        )
+
+    @staticmethod
+    def _last_user_index(messages: list[ChatMessage]) -> int | None:
+        for i in range(len(messages) - 1, -1, -1):
+            if messages[i].role == "user":
+                return i
+        return None
+
+    @staticmethod
+    def _latest_context(messages: list[ChatMessage]) -> dict:
+        """Parse the most recent structured context summary, if any."""
+        for msg in reversed(messages):
+            if msg.role == "system" and msg.content.startswith(CONTEXT_MARKER):
+                try:
+                    return json.loads(msg.content[len(CONTEXT_MARKER):])
+                except json.JSONDecodeError:
+                    return {}
+        return {}
+
+    @staticmethod
+    def _progress(tail: list[ChatMessage]) -> tuple[int, list[dict]]:
+        """Count tool calls already issued after the user message and
+        collect their parsed results in order."""
+        issued = 0
+        results: list[dict] = []
+        pending_names: dict[str, str] = {}
+        for msg in tail:
+            if msg.role == "assistant" and msg.tool_calls:
+                issued += len(msg.tool_calls)
+                for tc in msg.tool_calls:
+                    pending_names[tc.call_id] = tc.name
+            elif msg.role == "tool":
+                try:
+                    payload = json.loads(msg.content)
+                except json.JSONDecodeError:
+                    payload = {"raw": msg.content}
+                results.append(
+                    {
+                        "tool": pending_names.get(msg.tool_call_id, msg.name or "?"),
+                        "payload": payload,
+                    }
+                )
+        return issued, results
+
+    # ------------------------------------------------------------------
+    def _plan(
+        self, parsed: ParsedIntent, context: dict, tool_names: set[str]
+    ) -> list[PlannedStep] | None:
+        """Tool-call plan for the intent, or None if clarification needed."""
+        ents = parsed.entities
+        case = ents.get("case") or context.get("case")
+        have_fresh = bool(context.get("solved")) and bool(context.get("fresh"))
+        prof = self.profile
+
+        if parsed.intent == Intent.SOLVE_CASE:
+            if case is None:
+                return None
+            return [PlannedStep("solve_acopf_case", {"case_name": case})]
+
+        if parsed.intent == Intent.MODIFY_LOAD:
+            bus = ents.get("bus")
+            if bus is None or case is None:
+                return None
+            args: dict = {"bus": bus}
+            if "mw" in ents:
+                mw = ents["mw"]
+                if ents.get("mode") == "delta":
+                    if ents.get("direction") == "decrease" and mw > 0:
+                        mw = -mw
+                    args["delta_mw"] = mw
+                else:
+                    args["pd_mw"] = mw
+            elif "percent" in ents:
+                pct = ents["percent"]
+                if ents.get("direction") == "decrease" and pct > 0:
+                    pct = -pct
+                args["percent"] = pct
+            else:
+                return None
+            steps = []
+            if not context.get("solved"):
+                steps.append(PlannedStep("solve_acopf_case", {"case_name": case}))
+            steps.append(PlannedStep("modify_bus_load", args))
+            return steps
+
+        if parsed.intent == Intent.NETWORK_STATUS:
+            if "get_network_status" in tool_names:
+                return [PlannedStep("get_network_status", {})]
+            return [PlannedStep("get_contingency_status", {})]
+
+        if parsed.intent == Intent.SOLUTION_QUALITY:
+            if "assess_solution_quality" in tool_names:
+                steps = []
+                if case is not None and not have_fresh:
+                    steps.append(PlannedStep("solve_acopf_case", {"case_name": case}))
+                steps.append(PlannedStep("assess_solution_quality", {}))
+                return steps
+            return [PlannedStep("get_network_status", {})]
+
+        if parsed.intent == Intent.RUN_CONTINGENCY:
+            if case is None:
+                return None
+            steps = []
+            if not have_fresh or "solve_base_case" in tool_names:
+                steps.append(PlannedStep("solve_base_case", {"case_name": case}))
+            steps.append(
+                PlannedStep(
+                    "run_n1_contingency_analysis",
+                    {
+                        "top_n": ents.get("top_n", 5),
+                        "weights_profile": prof.ca_weights_profile,
+                        "overload_threshold": prof.ca_overload_threshold,
+                        "ranking_metric": (
+                            "peak_overload"
+                            if prof.quirks.get("reports_extra_stress")
+                            else "severity"
+                        ),
+                    },
+                )
+            )
+            return steps
+
+        if parsed.intent == Intent.ANALYZE_OUTAGE:
+            if case is None:
+                return None
+            target = self._outage_args(ents)
+            if target is None:
+                return None
+            steps = []
+            if not have_fresh:
+                steps.append(PlannedStep("solve_base_case", {"case_name": case}))
+            steps.append(PlannedStep("analyze_specific_contingency", target))
+            return steps
+
+        if parsed.intent == Intent.ECONOMIC_IMPACT:
+            if case is None:
+                return None
+            target = self._outage_args(ents)
+            if target is None:
+                return None
+            steps = []
+            if not have_fresh:
+                steps.append(PlannedStep("solve_acopf_case", {"case_name": case}))
+            steps.append(PlannedStep("apply_branch_outage", target))
+            steps.append(PlannedStep("solve_acopf_case", {"case_name": case}))
+            return steps
+
+        if parsed.intent == Intent.HELP:
+            return []
+
+        return None if parsed.intent == Intent.UNKNOWN else []
+
+    @staticmethod
+    def _outage_args(ents: dict) -> dict | None:
+        if "branch_id" in ents:
+            return {"branch_id": ents["branch_id"]}
+        if "from_bus" in ents and "to_bus" in ents:
+            return {"from_bus": ents["from_bus"], "to_bus": ents["to_bus"]}
+        return None
+
+    @staticmethod
+    def _missing_entity(parsed: ParsedIntent, context: dict) -> str:
+        ents = parsed.entities
+        case = ents.get("case") or context.get("case")
+        if parsed.intent in (
+            Intent.SOLVE_CASE,
+            Intent.RUN_CONTINGENCY,
+            Intent.ANALYZE_OUTAGE,
+            Intent.ECONOMIC_IMPACT,
+        ) and case is None:
+            return "case"
+        if parsed.intent == Intent.MODIFY_LOAD:
+            if ents.get("bus") is None:
+                return "bus"
+            if "mw" not in ents and "percent" not in ents:
+                return "value"
+        if parsed.intent in (Intent.ANALYZE_OUTAGE, Intent.ECONOMIC_IMPACT):
+            return "branch"
+        return "general"
+
+    def _reasoning_preamble(self, parsed: ParsedIntent, step: PlannedStep) -> str:
+        """Short chain-of-thought style note accompanying a tool call."""
+        if self.profile.verbosity == 0:
+            return ""
+        notes = {
+            "solve_acopf_case": "Invoking the ACOPF solver for a validated dispatch.",
+            "modify_bus_load": "Applying the load modification and re-dispatching.",
+            "get_network_status": "Retrieving the current network state from context.",
+            "assess_solution_quality": "Scoring the stored solution against quality metrics.",
+            "solve_base_case": "Establishing a validated base case before contingencies.",
+            "run_n1_contingency_analysis": (
+                "Sweeping single-element outages with the power-flow solver."
+            ),
+            "analyze_specific_contingency": "Simulating the requested outage.",
+            "apply_branch_outage": "Removing the branch from service in the model.",
+        }
+        return notes.get(step.tool, f"Calling {step.tool}.")
+
+    # ------------------------------------------------------------------
+    def _narrate(
+        self, parsed: ParsedIntent, context: dict, results: list[dict]
+    ) -> str:
+        verb = self.profile.verbosity
+        by_tool: dict[str, dict] = {r["tool"]: r["payload"] for r in results}
+
+        if parsed.intent == Intent.HELP or not results:
+            return (
+                "I can: solve ACOPF for the IEEE 14/30/57/118/300 cases, modify "
+                "bus loads and re-dispatch, report network status, run full N-1 "
+                "contingency analysis, analyse specific outages, and rank "
+                "critical elements with reinforcement recommendations."
+            )
+
+        if parsed.intent == Intent.ECONOMIC_IMPACT:
+            solves = [r["payload"] for r in results if r["tool"] == "solve_acopf_case"]
+            outage = by_tool.get("apply_branch_outage", {})
+            if solves:
+                final = dict(solves[-1])
+                base_cost = (
+                    solves[0]["objective_cost"]
+                    if len(solves) > 1
+                    else context.get("objective_cost", final.get("objective_cost"))
+                )
+                final["base_objective_cost"] = base_cost
+                final["branch_desc"] = outage.get(
+                    "branch_desc", outage.get("branch_id", "the branch")
+                )
+                return narration.narrate_economic_impact(final, verb)
+
+        if parsed.intent == Intent.MODIFY_LOAD and "modify_bus_load" in by_tool:
+            return narration.narrate_load_change(by_tool["modify_bus_load"], verb)
+
+        if parsed.intent == Intent.RUN_CONTINGENCY and (
+            "run_n1_contingency_analysis" in by_tool
+        ):
+            return narration.narrate_contingency(
+                by_tool["run_n1_contingency_analysis"], verb
+            )
+
+        if parsed.intent == Intent.ANALYZE_OUTAGE and (
+            "analyze_specific_contingency" in by_tool
+        ):
+            return narration.narrate_specific_outage(
+                by_tool["analyze_specific_contingency"], verb
+            )
+
+        if parsed.intent == Intent.SOLUTION_QUALITY and (
+            "assess_solution_quality" in by_tool
+        ):
+            return narration.narrate_quality(by_tool["assess_solution_quality"], verb)
+
+        if parsed.intent == Intent.NETWORK_STATUS:
+            payload = by_tool.get("get_network_status") or by_tool.get(
+                "get_contingency_status", {}
+            )
+            return narration.narrate_status(payload, verb)
+
+        if "solve_acopf_case" in by_tool:
+            return narration.narrate_acopf(by_tool["solve_acopf_case"], verb)
+        if "solve_base_case" in by_tool:
+            return narration.narrate_acopf(by_tool["solve_base_case"], verb)
+
+        # Fallback: report the last structured payload verbatim.
+        return json.dumps(results[-1]["payload"], indent=2, default=str)

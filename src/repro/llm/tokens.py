@@ -1,0 +1,40 @@
+"""Token estimation for the instrumentation bench.
+
+Real tokenisers are provider-specific; the paper's instrumentation only
+needs consistent relative accounting, so we use the standard ~4 chars per
+token heuristic plus a per-message protocol overhead.
+"""
+
+from __future__ import annotations
+
+from .base import ChatMessage, TokenUsage
+
+_CHARS_PER_TOKEN = 4.0
+_PER_MESSAGE_OVERHEAD = 4  # role/markup tokens per message
+
+
+def estimate_text_tokens(text: str) -> int:
+    """Approximate token count of a plain string (>= 1 for non-empty)."""
+    if not text:
+        return 0
+    return max(1, round(len(text) / _CHARS_PER_TOKEN))
+
+
+def estimate_message_tokens(msg: ChatMessage) -> int:
+    """Tokens for one message including tool-call payloads."""
+    n = _PER_MESSAGE_OVERHEAD + estimate_text_tokens(msg.content)
+    for tc in msg.tool_calls:
+        n += estimate_text_tokens(tc.name) + estimate_text_tokens(str(tc.arguments))
+    return n
+
+
+def estimate_prompt_tokens(messages: list[ChatMessage]) -> int:
+    return sum(estimate_message_tokens(m) for m in messages)
+
+
+def usage_for(messages: list[ChatMessage], completion: ChatMessage) -> TokenUsage:
+    """Usage record for a completion given its prompt context."""
+    return TokenUsage(
+        prompt_tokens=estimate_prompt_tokens(messages),
+        completion_tokens=estimate_message_tokens(completion),
+    )

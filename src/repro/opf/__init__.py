@@ -1,0 +1,41 @@
+"""Optimal power flow solvers (DESIGN.md S5).
+
+``solve_acopf`` is the production interior-point path;
+``solve_acopf_scipy`` a fully independent fallback/cross-check;
+``solve_dcopf`` the linear economic baseline.
+"""
+
+from .acopf import ACOPFProblem, solve_acopf
+from .costs import PolynomialCosts
+from .dcopf import solve_dcopf
+from .ipm import IPMOptions, IPMResult, solve_ipm
+from .result import OPFResult
+from .scipy_backend import solve_acopf_scipy
+from .scopf import SCOPFResult, SecurityConstraint, solve_scopf
+from .sensitivity import (
+    LoadImpactEstimate,
+    SensitivityReport,
+    analyze_sensitivities,
+    estimate_load_impact,
+    flow_sensitivities,
+)
+
+__all__ = [
+    "ACOPFProblem",
+    "IPMOptions",
+    "IPMResult",
+    "LoadImpactEstimate",
+    "OPFResult",
+    "PolynomialCosts",
+    "SCOPFResult",
+    "SecurityConstraint",
+    "SensitivityReport",
+    "analyze_sensitivities",
+    "estimate_load_impact",
+    "flow_sensitivities",
+    "solve_acopf",
+    "solve_acopf_scipy",
+    "solve_dcopf",
+    "solve_ipm",
+    "solve_scopf",
+]

@@ -1,0 +1,348 @@
+"""AC Optimal Power Flow: polar formulation solved by the PDIPM.
+
+Decision vector ``x = [Va | Vm | Pg | Qg]`` (angles in radians, everything
+else per-unit).  Constraints:
+
+* equality — complex power balance at every bus (2·n_bus rows) plus the
+  slack angle reference,
+* inequality — squared apparent-power flow limits at both ends of every
+  rated branch,
+* box — voltage magnitude and generator P/Q bounds.
+
+First and second derivatives come from :mod:`repro.powerflow.jacobian`
+(the MATPOWER formulas), so the IPM sees exact sparse curvature and
+converges in the usual 10-40 iterations.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy import sparse
+
+from ..grid.network import Network, NetworkArrays
+from ..grid.units import rad_to_deg
+from ..grid.ybus import AdmittanceMatrices, build_admittances
+from ..powerflow.jacobian import d2Abr_dV2, d2Sbus_dV2, dSbr_dV, dSbus_dV
+from .costs import PolynomialCosts
+from .ipm import IPMOptions, IPMResult, solve_ipm
+from .result import OPFResult
+
+
+class ACOPFProblem:
+    """Assembles callbacks for the IPM from a compiled network."""
+
+    def __init__(self, net: Network) -> None:
+        self.net = net
+        self.arr: NetworkArrays = net.compile()
+        self.adm: AdmittanceMatrices = build_admittances(self.arr)
+        arr = self.arr
+
+        self.nb = arr.n_bus
+        self.ng = arr.n_gen
+        self.nl = arr.n_branch
+        self.nx = 2 * self.nb + 2 * self.ng
+
+        # Variable slices.
+        self.sl_va = slice(0, self.nb)
+        self.sl_vm = slice(self.nb, 2 * self.nb)
+        self.sl_pg = slice(2 * self.nb, 2 * self.nb + self.ng)
+        self.sl_qg = slice(2 * self.nb + self.ng, self.nx)
+
+        costs = [net.gens[int(i)].cost_coeffs for i in arr.gen_ids]
+        self.costs = PolynomialCosts(costs, arr.base_mva)
+        if not self.costs.is_convex():
+            raise ValueError(
+                "non-convex generator cost polynomial; the interior-point "
+                "formulation requires convex costs"
+            )
+
+        self.cg = arr.gen_connection_matrix().tocsr()
+
+        # Rated branches get flow constraints (rate 0 == unlimited).
+        self.rated = np.flatnonzero(arr.rate_a > 0)
+        self.rate2 = arr.rate_a[self.rated] ** 2
+        rows = np.arange(self.nl)
+        self.cf = sparse.csr_matrix(
+            (np.ones(self.nl), (rows, arr.f_bus)), shape=(self.nl, self.nb)
+        )[self.rated]
+        self.ct = sparse.csr_matrix(
+            (np.ones(self.nl), (rows, arr.t_bus)), shape=(self.nl, self.nb)
+        )[self.rated]
+        self.yf = self.adm.yf[self.rated]
+        self.yt = self.adm.yt[self.rated]
+        self.f_rated = arr.f_bus[self.rated]
+        self.t_rated = arr.t_bus[self.rated]
+
+        self.ref = int(arr.slack_buses[0])
+        self.va_ref = float(arr.va0[self.ref])
+
+    # ------------------------------------------------------------------
+    def initial_point(self) -> np.ndarray:
+        arr = self.arr
+        x0 = np.zeros(self.nx)
+        x0[self.sl_va] = self.va_ref
+        vm0 = np.clip(arr.vm0, arr.vmin + 1e-3, arr.vmax - 1e-3)
+        x0[self.sl_vm] = vm0
+        # Midpoint dispatch is the classic MIPS starting point; fall back
+        # to the scheduled dispatch when it is interior.
+        pg_mid = (arr.pmin + arr.pmax) / 2.0
+        pg0 = np.where((arr.pg0 > arr.pmin) & (arr.pg0 < arr.pmax), arr.pg0, pg_mid)
+        x0[self.sl_pg] = pg0
+        x0[self.sl_qg] = (arr.qmin + arr.qmax) / 2.0
+        return x0
+
+    def warm_start_point(self) -> np.ndarray | None:
+        """Starting point from a converged base power flow, if one exists.
+
+        A different basin than the midpoint start — the multi-start logic
+        in :func:`solve_acopf` uses it when the first attempt stalls.
+        """
+        from ..powerflow.newton import solve_newton
+
+        pf = solve_newton(self.net)
+        if not pf.converged:
+            return None
+        arr = self.arr
+        x0 = np.zeros(self.nx)
+        x0[self.sl_va] = np.deg2rad(pf.va_deg)
+        x0[self.sl_vm] = np.clip(pf.vm, arr.vmin + 1e-3, arr.vmax - 1e-3)
+        x0[self.sl_pg] = np.clip(arr.pg0, arr.pmin + 1e-4, arr.pmax)
+        x0[self.sl_qg] = np.clip(
+            pf.gen_q_mvar / arr.base_mva, arr.qmin + 1e-4, arr.qmax - 1e-4
+        )
+        return x0
+
+    def flat_point(self) -> np.ndarray:
+        """Fully flat start: unit voltages, mid dispatch."""
+        arr = self.arr
+        x0 = np.zeros(self.nx)
+        x0[self.sl_va] = self.va_ref
+        x0[self.sl_vm] = np.clip(np.ones(self.nb), arr.vmin + 1e-3, arr.vmax - 1e-3)
+        x0[self.sl_pg] = (arr.pmin + arr.pmax) / 2.0
+        x0[self.sl_qg] = (arr.qmin + arr.qmax) / 2.0
+        return x0
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        arr = self.arr
+        xmin = np.full(self.nx, -np.inf)
+        xmax = np.full(self.nx, np.inf)
+        xmin[self.sl_vm] = arr.vmin
+        xmax[self.sl_vm] = arr.vmax
+        xmin[self.sl_pg] = arr.pmin
+        xmax[self.sl_pg] = arr.pmax
+        xmin[self.sl_qg] = arr.qmin
+        xmax[self.sl_qg] = arr.qmax
+        return xmin, xmax
+
+    def voltage(self, x: np.ndarray) -> np.ndarray:
+        return x[self.sl_vm] * np.exp(1j * x[self.sl_va])
+
+    # ------------------------------------------------------------------
+    # IPM callbacks
+    # ------------------------------------------------------------------
+    def objective(self, x: np.ndarray) -> tuple[float, np.ndarray]:
+        pg = x[self.sl_pg]
+        f = self.costs.cost(pg)
+        df = np.zeros(self.nx)
+        df[self.sl_pg] = self.costs.gradient(pg)
+        return f, df
+
+    def equalities(self, x: np.ndarray) -> tuple[np.ndarray, sparse.spmatrix]:
+        arr = self.arr
+        v = self.voltage(x)
+        sg = self.cg @ (x[self.sl_pg] + 1j * x[self.sl_qg])
+        mis = v * np.conj(self.adm.ybus @ v) + (arr.pd + 1j * arr.qd) - sg
+
+        ds_dva, ds_dvm = dSbus_dV(self.adm.ybus, v)
+        zg = sparse.csr_matrix((self.nb, self.ng))
+        dg_p = sparse.hstack([ds_dva.real, ds_dvm.real, -self.cg, zg])
+        dg_q = sparse.hstack([ds_dva.imag, ds_dvm.imag, zg, -self.cg])
+
+        # Slack angle reference row.
+        ref_row = sparse.csr_matrix(
+            (np.ones(1), (np.zeros(1, dtype=int), [self.ref])), shape=(1, self.nx)
+        )
+        g = np.concatenate([mis.real, mis.imag, [x[self.ref] - self.va_ref]])
+        dg = sparse.vstack([dg_p, dg_q, ref_row], format="csr")
+        return g, dg
+
+    def inequalities(self, x: np.ndarray) -> tuple[np.ndarray, sparse.spmatrix]:
+        v = self.voltage(x)
+        nr = len(self.rated)
+        if nr == 0:
+            return np.empty(0), sparse.csr_matrix((0, self.nx))
+
+        dsf_dva, dsf_dvm, sf = dSbr_dV(self.yf, self.f_rated, v, self.nb)
+        dst_dva, dst_dvm, st = dSbr_dV(self.yt, self.t_rated, v, self.nb)
+
+        h = np.concatenate([np.abs(sf) ** 2 - self.rate2, np.abs(st) ** 2 - self.rate2])
+
+        def abs2_grad(s, ds_dva, ds_dvm):
+            dr = sparse.diags(s.real)
+            di = sparse.diags(s.imag)
+            da = 2.0 * (dr @ ds_dva.real + di @ ds_dva.imag)
+            dm = 2.0 * (dr @ ds_dvm.real + di @ ds_dvm.imag)
+            return da, dm
+
+        dfa, dfm = abs2_grad(sf, dsf_dva, dsf_dvm)
+        dta, dtm = abs2_grad(st, dst_dva, dst_dvm)
+        zgen = sparse.csr_matrix((nr, 2 * self.ng))
+        dh = sparse.vstack(
+            [
+                sparse.hstack([dfa, dfm, zgen]),
+                sparse.hstack([dta, dtm, zgen]),
+            ],
+            format="csr",
+        )
+        return h, dh
+
+    def lagrangian_hessian(
+        self, x: np.ndarray, lam: np.ndarray, mu: np.ndarray
+    ) -> sparse.spmatrix:
+        v = self.voltage(x)
+        nb, ng = self.nb, self.ng
+
+        # Objective block (diagonal in Pg).
+        d2f_pg = self.costs.hessian_diag(x[self.sl_pg])
+
+        # Power-balance block.
+        lam_p = lam[:nb]
+        lam_q = lam[nb : 2 * nb]
+        gaa_p, gav_p, gva_p, gvv_p = d2Sbus_dV2(self.adm.ybus, v, lam_p)
+        gaa_q, gav_q, gva_q, gvv_q = d2Sbus_dV2(self.adm.ybus, v, lam_q)
+        haa = gaa_p.real + gaa_q.imag
+        hav = gav_p.real + gav_q.imag
+        hva = gva_p.real + gva_q.imag
+        hvv = gvv_p.real + gvv_q.imag
+
+        # Branch-limit block.
+        nr = len(self.rated)
+        if nr and mu.size:
+            mu_f = mu[:nr]
+            mu_t = mu[nr:]
+            dsf_dva, dsf_dvm, sf = dSbr_dV(self.yf, self.f_rated, v, nb)
+            dst_dva, dst_dvm, st = dSbr_dV(self.yt, self.t_rated, v, nb)
+            faa, fav, fva, fvv = d2Abr_dV2(dsf_dva, dsf_dvm, sf, self.cf, self.yf, v, mu_f)
+            taa, tav, tva, tvv = d2Abr_dV2(dst_dva, dst_dvm, st, self.ct, self.yt, v, mu_t)
+            haa = haa + faa + taa
+            hav = hav + fav + tav
+            hva = hva + fva + tva
+            hvv = hvv + fvv + tvv
+
+        vv_block = sparse.bmat([[haa, hav], [hva, hvv]])
+        lxx = sparse.block_diag(
+            [vv_block, sparse.diags(d2f_pg), sparse.csr_matrix((ng, ng))],
+            format="csr",
+        )
+        return lxx
+
+
+def solve_acopf(
+    net: Network,
+    *,
+    options: IPMOptions | None = None,
+    multi_start: bool = True,
+) -> OPFResult:
+    """Solve the ACOPF with the interior-point backend.
+
+    ``multi_start`` retries stalled solves from a power-flow warm start
+    and a flat start before giving up.  Non-convergence is reported in the
+    result (``converged=False``), never raised — the agent validation
+    layer decides how to recover.
+    """
+    start = time.perf_counter()
+    prob = ACOPFProblem(net)
+    xmin, xmax = prob.bounds()
+    opts = options or IPMOptions()
+
+    # Multi-start: the PDIPM occasionally stalls (step collapse) from a
+    # particular basin on stressed systems; different but equally
+    # legitimate starting points usually rescue it.
+    starts: list = [prob.initial_point]
+    if multi_start:
+        starts += [prob.warm_start_point, prob.flat_point]
+
+    ipm_res = None
+    for make_x0 in starts:
+        x0 = make_x0()
+        if x0 is None:
+            continue
+        attempt = solve_ipm(
+            x0,
+            prob.objective,
+            prob.equalities,
+            prob.inequalities,
+            prob.lagrangian_hessian,
+            xmin,
+            xmax,
+            opts,
+        )
+        if ipm_res is None or (attempt.converged and not ipm_res.converged):
+            ipm_res = attempt
+        if attempt.converged:
+            break
+    assert ipm_res is not None
+    return _unpack(prob, ipm_res, time.perf_counter() - start)
+
+
+def _unpack(prob: ACOPFProblem, res: IPMResult, runtime: float) -> OPFResult:
+    arr = prob.arr
+    base = arr.base_mva
+    x = res.x
+    v = prob.voltage(x)
+
+    sf = v[arr.f_bus] * np.conj(prob.adm.yf @ v)
+    st = v[arr.t_bus] * np.conj(prob.adm.yt @ v)
+    s_from = np.abs(sf) * base
+    s_to = np.abs(st) * base
+    with np.errstate(divide="ignore", invalid="ignore"):
+        loading = np.where(
+            arr.rate_a > 0,
+            100.0 * np.maximum(s_from, s_to) / (arr.rate_a * base),
+            0.0,
+        )
+
+    mis, _ = prob.equalities(x)
+    max_mis = float(np.max(np.abs(mis[: 2 * prob.nb]))) if prob.nb else 0.0
+
+    # Nodal prices: $/h per p.u. -> $/MWh.
+    lmp = res.lam_eq[: prob.nb] / base
+
+    branch_mu = np.zeros(prob.nl)
+    nr = len(prob.rated)
+    if nr and res.mu_ineq.size >= 2 * nr:
+        # Shadow price on |S|^2 limit; convert to per-MVA via chain rule.
+        # (Subclasses may append extra inequality rows after these.)
+        mu_f = res.mu_ineq[:nr]
+        mu_t = res.mu_ineq[nr: 2 * nr]
+        combined = np.zeros(prob.nl)
+        rate_pu = arr.rate_a[prob.rated]
+        combined[prob.rated] = (mu_f + mu_t) * 2.0 * rate_pu / base
+        branch_mu = combined
+
+    losses = float((sf + st).real.sum()) * base
+
+    return OPFResult(
+        converged=res.converged,
+        objective_cost=float(res.f),
+        method="acopf-ipm",
+        iterations=res.iterations,
+        vm=np.abs(v),
+        va_deg=rad_to_deg(np.angle(v)),
+        pg_mw=x[prob.sl_pg] * base,
+        qg_mvar=x[prob.sl_qg] * base,
+        gen_ids=arr.gen_ids.copy(),
+        loading_percent=loading,
+        s_from_mva=s_from,
+        s_to_mva=s_to,
+        branch_ids=arr.branch_ids.copy(),
+        losses_mw=losses,
+        lmp_mw=lmp,
+        branch_mu=branch_mu,
+        max_power_balance_mismatch_pu=max_mis,
+        runtime_s=runtime,
+        message=res.message,
+        extras={"ipm_history": res.history},
+    )

@@ -1,0 +1,72 @@
+"""Generator cost models for the OPF objective.
+
+Costs are polynomial in MW (MATPOWER convention); the solver works in
+per-unit, so evaluation applies the chain rule with the MVA base.  Only
+convex polynomials make sense for the interior-point method — a validity
+check is provided for the problem assembler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PolynomialCosts:
+    """Vectorised evaluation of per-generator polynomial costs.
+
+    ``coeffs[i]`` is highest-degree-first for generator ``i`` (any degree;
+    quadratic in practice).  All methods take per-unit dispatch and return
+    $/h quantities differentiated w.r.t. per-unit power.
+    """
+
+    def __init__(self, coeffs: list[tuple[float, ...]], base_mva: float) -> None:
+        if base_mva <= 0:
+            raise ValueError("base_mva must be positive")
+        self.coeffs = [tuple(float(c) for c in cs) for cs in coeffs]
+        self.base_mva = float(base_mva)
+        self.n = len(self.coeffs)
+
+    def cost(self, pg_pu: np.ndarray) -> float:
+        """Total cost ($/h) at the given per-unit dispatch."""
+        p_mw = np.asarray(pg_pu) * self.base_mva
+        total = 0.0
+        for i, cs in enumerate(self.coeffs):
+            total += float(np.polyval(cs, p_mw[i]))
+        return total
+
+    def gradient(self, pg_pu: np.ndarray) -> np.ndarray:
+        """d(cost)/d(pg_pu) — note the chain-rule factor of base MVA."""
+        p_mw = np.asarray(pg_pu) * self.base_mva
+        out = np.empty(self.n)
+        for i, cs in enumerate(self.coeffs):
+            out[i] = float(np.polyval(np.polyder(cs), p_mw[i])) * self.base_mva
+        return out
+
+    def hessian_diag(self, pg_pu: np.ndarray) -> np.ndarray:
+        """d2(cost)/d(pg_pu)2 diagonal."""
+        p_mw = np.asarray(pg_pu) * self.base_mva
+        out = np.empty(self.n)
+        for i, cs in enumerate(self.coeffs):
+            if len(cs) >= 3:
+                out[i] = float(np.polyval(np.polyder(cs, 2), p_mw[i])) * self.base_mva**2
+            else:
+                out[i] = 0.0
+        return out
+
+    def is_convex(self) -> bool:
+        """True if every cost curve has non-negative curvature everywhere.
+
+        For the quadratic costs used by all bundled cases this reduces to
+        ``c2 >= 0``; higher-degree polynomials are rejected conservatively
+        unless they are degree <= 2.
+        """
+        for cs in self.coeffs:
+            if len(cs) > 3:
+                return False
+            if len(cs) == 3 and cs[0] < 0:
+                return False
+        return True
+
+    def marginal_cost_mw(self, pg_pu: np.ndarray) -> np.ndarray:
+        """d(cost)/d(P_MW) in $/MWh — what dispatch stacks compare."""
+        return self.gradient(pg_pu) / self.base_mva

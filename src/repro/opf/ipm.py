@@ -1,0 +1,253 @@
+"""Primal-dual interior-point method for smooth NLPs (MIPS-style).
+
+Solves::
+
+    min f(x)   s.t.  g(x) = 0,   h(x) <= 0,   xmin <= x <= xmax
+
+with the pure (non-step-controlled) primal-dual algorithm of MATPOWER's
+MIPS solver [Wang et al., "On computational issues of market-based optimal
+power flow", IEEE Trans. Power Systems 22(3), 2007].  The caller supplies
+sparse first derivatives and the Hessian of the Lagrangian; box bounds are
+folded into the inequality set here.
+
+The only scipy dependency is the sparse LU behind the KKT solve, so this
+module is reusable for any smooth constrained problem (the ACOPF assembler
+is just one client).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sla
+
+# Algorithm constants (MIPS defaults).
+_XI = 0.99995
+_SIGMA = 0.1
+_Z0 = 1.0
+_ALPHA_MIN = 1e-8
+
+
+@dataclass
+class IPMOptions:
+    feastol: float = 1e-6
+    gradtol: float = 1e-6
+    comptol: float = 1e-6
+    costtol: float = 1e-6
+    max_iter: int = 150
+    verbose: bool = False
+
+
+@dataclass
+class IPMResult:
+    x: np.ndarray
+    f: float
+    converged: bool
+    iterations: int
+    lam_eq: np.ndarray  # equality multipliers
+    mu_ineq: np.ndarray  # inequality multipliers (nonlinear rows only)
+    mu_lower: np.ndarray  # multipliers on x >= xmin
+    mu_upper: np.ndarray  # multipliers on x <= xmax
+    message: str = ""
+    history: list[dict] = field(default_factory=list)
+
+
+def solve_ipm(
+    x0: np.ndarray,
+    f_fcn: Callable[[np.ndarray], tuple[float, np.ndarray]],
+    g_fcn: Callable[[np.ndarray], tuple[np.ndarray, sparse.spmatrix]],
+    h_fcn: Callable[[np.ndarray], tuple[np.ndarray, sparse.spmatrix]],
+    hess_fcn: Callable[[np.ndarray, np.ndarray, np.ndarray], sparse.spmatrix],
+    xmin: np.ndarray,
+    xmax: np.ndarray,
+    options: IPMOptions | None = None,
+) -> IPMResult:
+    """Run the primal-dual interior-point iteration.
+
+    ``f_fcn(x) -> (f, df)``; ``g_fcn(x) -> (g, dg)`` with ``dg`` shaped
+    (neq, nx); ``h_fcn(x) -> (h, dh)`` with ``dh`` shaped (nh, nx);
+    ``hess_fcn(x, lam, mu) -> Lxx`` (nx, nx) including the objective term.
+    ``mu`` passed to ``hess_fcn`` covers only the nonlinear ``h`` rows —
+    bound rows are linear and contribute nothing.
+    """
+    opts = options or IPMOptions()
+    x = np.asarray(x0, dtype=float).copy()
+    nx = x.size
+
+    # --- fold box bounds into linear inequality rows --------------------
+    lb_rows = np.flatnonzero(np.isfinite(xmin))
+    ub_rows = np.flatnonzero(np.isfinite(xmax))
+    n_lb, n_ub = lb_rows.size, ub_rows.size
+    eye = sparse.identity(nx, format="csr")
+    a_lb = -eye[lb_rows]  # xmin - x <= 0
+    a_ub = eye[ub_rows]  # x - xmax <= 0
+
+    def full_h(xv: np.ndarray) -> tuple[np.ndarray, sparse.spmatrix]:
+        hn, dhn = h_fcn(xv)
+        h_all = np.concatenate([hn, xmin[lb_rows] - xv[lb_rows], xv[ub_rows] - xmax[ub_rows]])
+        dh_all = sparse.vstack([dhn, a_lb, a_ub], format="csr")
+        return h_all, dh_all
+
+    # Nudge x0 strictly inside its box so barrier terms are finite.
+    span = np.where(
+        np.isfinite(xmin) & np.isfinite(xmax), np.maximum(xmax - xmin, 0.0), np.inf
+    )
+    shift = np.minimum(1e-2, 0.25 * span)
+    x = np.where(np.isfinite(xmin), np.maximum(x, xmin + shift), x)
+    x = np.where(np.isfinite(xmax), np.minimum(x, xmax - shift), x)
+
+    f, df = f_fcn(x)
+    g, dg = g_fcn(x)
+    h, dh = full_h(x)
+    neq, niq = g.size, h.size
+
+    lam = np.zeros(neq)
+    z = np.full(niq, _Z0)
+    mask = h < -_Z0
+    z[mask] = -h[mask]
+    gamma = 1.0
+    mu = gamma / z
+    e = np.ones(niq)
+
+    def conditions(
+        fv: float, f_prev: float, gv: np.ndarray, hv: np.ndarray, lx: np.ndarray
+    ) -> tuple[float, float, float, float]:
+        feas = max(
+            float(np.linalg.norm(gv, np.inf)) if gv.size else 0.0,
+            float(hv.max()) if hv.size else 0.0,
+        ) / (1.0 + max(float(np.linalg.norm(x, np.inf)), float(np.linalg.norm(z, np.inf))))
+        grad = float(np.linalg.norm(lx, np.inf)) / (
+            1.0
+            + max(
+                float(np.linalg.norm(lam, np.inf)) if lam.size else 0.0,
+                float(np.linalg.norm(mu, np.inf)) if mu.size else 0.0,
+            )
+        )
+        comp = float(z @ mu) / (1.0 + float(np.linalg.norm(x, np.inf)))
+        cost = abs(fv - f_prev) / (1.0 + abs(f_prev))
+        return feas, grad, comp, cost
+
+    lx = df + dg.T @ lam + dh.T @ mu
+    f_prev = f
+    feas, grad, comp, costc = conditions(f, f, g, h, lx)
+    converged = (
+        feas < opts.feastol and grad < opts.gradtol and comp < opts.comptol
+    )
+    history: list[dict] = []
+    message = ""
+    it = 0
+    restarts_left = 2
+
+    while not converged and it < opts.max_iter:
+        it += 1
+        mu_nl = mu[: niq - n_lb - n_ub]
+        lxx = hess_fcn(x, lam, mu_nl).tocsr()
+
+        zinv = 1.0 / z
+        dh_zinv_mu = dh.T @ sparse.diags(zinv * mu)
+        m_mat = lxx + dh_zinv_mu @ dh
+        n_vec = lx + dh.T @ (zinv * (gamma * e + mu * h))
+        kkt = sparse.bmat([[m_mat, dg.T], [dg, None]], format="csc")
+        rhs = np.concatenate([-n_vec, -g])
+
+        dxl = _solve_kkt(kkt, rhs)
+        if dxl is None:
+            message = f"KKT system singular at iteration {it}"
+            break
+        dx = dxl[:nx]
+        dlam = dxl[nx:]
+
+        dz = -h - z - dh @ dx
+        dmu = -mu + zinv * (gamma * e - mu * dz)
+
+        # primal / dual step lengths
+        neg_z = dz < 0
+        alpha_p = min(1.0, _XI * float(np.min(-z[neg_z] / dz[neg_z])) if neg_z.any() else 1.0)
+        neg_mu = dmu < 0
+        alpha_d = min(1.0, _XI * float(np.min(-mu[neg_mu] / dmu[neg_mu])) if neg_mu.any() else 1.0)
+
+        if alpha_p < _ALPHA_MIN and alpha_d < _ALPHA_MIN:
+            if restarts_left > 0:
+                # Jamming: some slack/multiplier pair hit its guard while
+                # the iterate is still infeasible.  Re-centre (z, mu) from
+                # the current h and continue — a cheap Mehrotra-style
+                # recovery that rescues most stalls.
+                restarts_left -= 1
+                z = np.full(niq, _Z0)
+                mask = h < -_Z0
+                z[mask] = -h[mask]
+                gamma = 1.0
+                mu = gamma / z
+                lx = df + dg.T @ lam + dh.T @ mu
+                continue
+            message = f"step size collapsed at iteration {it}"
+            break
+
+        x = x + alpha_p * dx
+        z = z + alpha_p * dz
+        lam = lam + alpha_d * dlam
+        mu = mu + alpha_d * dmu
+        gamma = _SIGMA * float(z @ mu) / niq if niq else 0.0
+
+        f, df = f_fcn(x)
+        g, dg = g_fcn(x)
+        h, dh = full_h(x)
+        lx = df + dg.T @ lam + dh.T @ mu
+
+        feas, grad, comp, costc = conditions(f, f_prev, g, h, lx)
+        history.append(
+            {"iter": it, "f": f, "feascond": feas, "gradcond": grad,
+             "compcond": comp, "costcond": costc, "alpha_p": alpha_p, "alpha_d": alpha_d}
+        )
+        if opts.verbose:  # pragma: no cover - debugging aid
+            print(
+                f"  ipm it={it:3d} f={f:14.6g} feas={feas:9.2e} "
+                f"grad={grad:9.2e} comp={comp:9.2e} cost={costc:9.2e}"
+            )
+        f_prev = f
+        converged = (
+            feas < opts.feastol
+            and grad < opts.gradtol
+            and comp < opts.comptol
+            and costc < opts.costtol
+        )
+
+    if converged and not message:
+        message = f"converged in {it} iterations"
+    elif not message:
+        message = f"did not converge within {opts.max_iter} iterations"
+
+    nh_nl = niq - n_lb - n_ub
+    mu_lower = np.zeros(nx)
+    mu_upper = np.zeros(nx)
+    mu_lower[lb_rows] = mu[nh_nl : nh_nl + n_lb]
+    mu_upper[ub_rows] = mu[nh_nl + n_lb :]
+
+    return IPMResult(
+        x=x,
+        f=f,
+        converged=bool(converged),
+        iterations=it,
+        lam_eq=lam,
+        mu_ineq=mu[:nh_nl],
+        mu_lower=mu_lower,
+        mu_upper=mu_upper,
+        message=message,
+        history=history,
+    )
+
+
+def _solve_kkt(kkt: sparse.csc_matrix, rhs: np.ndarray) -> np.ndarray | None:
+    """Sparse LU solve with escalating diagonal regularisation on failure."""
+    for reg in (0.0, 1e-10, 1e-8, 1e-6):
+        mat = kkt if reg == 0.0 else kkt + reg * sparse.identity(kkt.shape[0], format="csc")
+        try:
+            sol = sla.splu(mat.tocsc()).solve(rhs)
+        except RuntimeError:
+            continue
+        if np.all(np.isfinite(sol)):
+            return sol
+    return None

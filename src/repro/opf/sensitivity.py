@@ -1,0 +1,130 @@
+"""Sensitivity analysis around a solved operating point.
+
+Implements the paper's Appendix B.4 "sensitivity analysis (parameter
+modifications with impact assessment)" capability with the standard
+first-order machinery:
+
+* **price sensitivities** — nodal prices (LMPs) from the ACOPF equality
+  multipliers: dCost/dPd per bus, decomposed into energy/congestion
+  reference parts,
+* **flow sensitivities** — PTDF rows: dFlow/dInjection for chosen
+  branches,
+* **load-impact estimates** — first-order cost prediction for a proposed
+  load change, validated against a re-solve (the agent narrates both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..contingency.lodf import compute_ptdf
+from ..grid.network import Network
+from .acopf import solve_acopf
+from .result import OPFResult
+
+
+@dataclass
+class SensitivityReport:
+    """First-order sensitivities at a solved ACOPF point."""
+
+    case_name: str
+    lmp_mw: np.ndarray  # (n_bus,) $/MWh
+    reference_price: float  # $/MWh at the slack
+    congestion_component: np.ndarray  # LMP - reference
+    most_expensive_buses: list[tuple[int, float]] = field(default_factory=list)
+    cheapest_buses: list[tuple[int, float]] = field(default_factory=list)
+    binding_branches: list[int] = field(default_factory=list)
+
+    def predicted_cost_delta(self, bus: int, delta_mw: float) -> float:
+        """First-order cost change ($/h) for a load change at ``bus``."""
+        return float(self.lmp_mw[bus] * delta_mw)
+
+
+def analyze_sensitivities(net: Network, result: OPFResult | None = None) -> SensitivityReport:
+    """Build a sensitivity report at (or after computing) the OPF point."""
+    if result is None or not result.converged:
+        result = solve_acopf(net)
+    if not result.converged:
+        raise ValueError("cannot compute sensitivities: ACOPF did not converge")
+
+    arr = net.compile()
+    ref = int(arr.slack_buses[0])
+    lmp = result.lmp_mw
+    reference = float(lmp[ref])
+    congestion = lmp - reference
+
+    order = np.argsort(lmp)
+    cheapest = [(int(b), float(lmp[b])) for b in order[:3]]
+    priciest = [(int(b), float(lmp[b])) for b in order[-3:][::-1]]
+
+    return SensitivityReport(
+        case_name=net.metadata.case_name,
+        lmp_mw=lmp,
+        reference_price=reference,
+        congestion_component=congestion,
+        most_expensive_buses=priciest,
+        cheapest_buses=cheapest,
+        binding_branches=result.binding_branches(),
+    )
+
+
+def flow_sensitivities(net: Network, branch_id: int) -> np.ndarray:
+    """dFlow/dInjection (PTDF row, MW per MW) for one branch."""
+    arr = net.compile()
+    rows = {int(b): i for i, b in enumerate(arr.branch_ids)}
+    if branch_id not in rows:
+        raise KeyError(f"branch {branch_id} is not in service")
+    return compute_ptdf(arr)[rows[branch_id]]
+
+
+@dataclass
+class LoadImpactEstimate:
+    """First-order prediction vs exact re-solve for a load change."""
+
+    bus: int
+    delta_mw: float
+    predicted_delta_cost: float
+    actual_delta_cost: float
+    base_cost: float
+
+    @property
+    def prediction_error_percent(self) -> float:
+        if self.actual_delta_cost == 0:
+            return 0.0
+        return 100.0 * abs(
+            self.predicted_delta_cost - self.actual_delta_cost
+        ) / abs(self.actual_delta_cost)
+
+
+def estimate_load_impact(
+    net: Network, bus: int, delta_mw: float
+) -> LoadImpactEstimate:
+    """Predict a load change's cost impact, then verify with a re-solve.
+
+    The verification is the paper's "impact assessment": the agent can
+    quote both the marginal estimate and the exact number.
+    """
+    base = solve_acopf(net)
+    if not base.converged:
+        raise ValueError("base ACOPF did not converge")
+    report = analyze_sensitivities(net, base)
+    predicted = report.predicted_cost_delta(bus, delta_mw)
+
+    trial = net.copy()
+    loads = trial.loads_at_bus(bus)
+    current = sum(ld.pd_mw for ld in loads)
+    trial.set_load(bus, current + delta_mw)
+    after = solve_acopf(trial)
+    if not after.converged:
+        raise ValueError(
+            f"re-solve with {delta_mw:+.1f} MW at bus {bus} is infeasible"
+        )
+    return LoadImpactEstimate(
+        bus=bus,
+        delta_mw=delta_mw,
+        predicted_delta_cost=predicted,
+        actual_delta_cost=after.objective_cost - base.objective_cost,
+        base_cost=base.objective_cost,
+    )

@@ -1,0 +1,23 @@
+"""AC/DC power-flow solvers (DESIGN.md S4).
+
+``solve_newton`` is the production path; ``solve_fast_decoupled`` /
+``solve_gauss_seidel`` / ``solve_dc`` provide the recovery ladder and
+baselines.  ``solve_with_recovery`` implements the paper's automatic
+fallback behaviour (Section 3.2.1).
+"""
+
+from .dc import solve_dc
+from .fast_decoupled import solve_fast_decoupled
+from .gauss_seidel import solve_gauss_seidel
+from .newton import solve_newton
+from .recovery import solve_with_recovery
+from .solution import PowerFlowResult
+
+__all__ = [
+    "PowerFlowResult",
+    "solve_dc",
+    "solve_fast_decoupled",
+    "solve_gauss_seidel",
+    "solve_newton",
+    "solve_with_recovery",
+]

@@ -1,0 +1,84 @@
+"""Linearised DC power flow.
+
+Used three ways in this repo: as the fast screening model for the
+contingency engine (PTDF/LODF), as the network model inside DCOPF, and as
+the "alternative algorithm" recovery path the paper's validation layer
+falls back to when an AC solve fails.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy.sparse import linalg as sla
+
+from ..grid.network import Network
+from ..grid.units import rad_to_deg
+from ..grid.ybus import build_b_matrices
+from .newton import bus_power_injections
+from .solution import PowerFlowResult
+
+
+def solve_dc(net: Network) -> PowerFlowResult:
+    """Solve ``Bbus theta = P`` with the slack angle pinned.
+
+    Reactive quantities are zero by construction; loading percentages use
+    |P| against the MVA rating (the usual DC convention).
+    """
+    start = time.perf_counter()
+    arr = net.compile()
+    bbus, bf, pf_shift = build_b_matrices(arr)
+
+    p_inj = bus_power_injections(arr).real
+    # Phase-shift injections: Cft' * pf_shift moves shifter flow to buses.
+    nl = arr.n_branch
+    p_bus_shift = np.zeros(arr.n_bus)
+    np.add.at(p_bus_shift, arr.f_bus, pf_shift)
+    np.add.at(p_bus_shift, arr.t_bus, -pf_shift)
+
+    slack = int(arr.slack_buses[0])
+    keep = np.flatnonzero(np.arange(arr.n_bus) != slack)
+
+    theta = np.zeros(arr.n_bus)
+    theta[slack] = arr.va0[slack]
+    rhs = (p_inj - p_bus_shift)[keep] - bbus[np.ix_(keep, [slack])].toarray().ravel() * theta[slack]
+    theta[keep] = sla.spsolve(bbus[np.ix_(keep, keep)].tocsc(), rhs)
+
+    p_flow = bf @ theta + pf_shift  # p.u., from->to
+    base = arr.base_mva
+    with np.errstate(divide="ignore", invalid="ignore"):
+        loading = np.where(
+            arr.rate_a > 0, 100.0 * np.abs(p_flow) / arr.rate_a, 0.0
+        )
+
+    # Lossless model: the slack units absorb any scheduled imbalance.
+    gen_p = arr.pg0.copy()
+    slack_rows = np.flatnonzero(arr.gen_bus == slack)
+    if slack_rows.size:
+        gen_p[slack_rows] += -p_inj.sum() / slack_rows.size
+
+    zeros = np.zeros(nl)
+    return PowerFlowResult(
+        converged=True,
+        iterations=1,
+        method="dc",
+        max_mismatch_pu=0.0,
+        vm=np.ones(arr.n_bus),
+        va_deg=rad_to_deg(theta),
+        p_from_mw=p_flow * base,
+        q_from_mvar=zeros.copy(),
+        p_to_mw=-p_flow * base,
+        q_to_mvar=zeros.copy(),
+        s_from_mva=np.abs(p_flow) * base,
+        s_to_mva=np.abs(p_flow) * base,
+        loading_percent=loading,
+        branch_ids=arr.branch_ids.copy(),
+        gen_p_mw=gen_p * base,
+        gen_q_mvar=np.zeros(arr.n_gen),
+        gen_ids=arr.gen_ids.copy(),
+        losses_mw=0.0,
+        losses_mvar=0.0,
+        runtime_s=time.perf_counter() - start,
+        message="DC power flow (lossless linear model)",
+    )

@@ -1,0 +1,88 @@
+"""Gauss-Seidel AC power flow.
+
+The textbook baseline: slow linear convergence, but nearly unbreakable on
+small systems and useful as the last rung of the recovery ladder as well
+as a teaching reference for the examples.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..grid.components import BusType
+from ..grid.network import Network
+from .newton import bus_power_injections
+from .solution import PowerFlowResult, finalize_solution, make_admittances
+
+
+def solve_gauss_seidel(
+    net: Network,
+    *,
+    tol: float = 1e-6,
+    max_iter: int = 2000,
+    acceleration: float = 1.4,
+) -> PowerFlowResult:
+    """Solve the power flow by per-bus Gauss-Seidel sweeps.
+
+    ``acceleration`` is the usual over-relaxation factor (1.0 disables).
+    """
+    start = time.perf_counter()
+    arr, adm = make_admittances(net)
+    ybus = adm.ybus.tocsr()
+
+    v = arr.vm0 * np.exp(1j * arr.va0)
+    sbus = bus_power_injections(arr)
+    pv = set(int(b) for b in arr.pv_buses)
+    slack = set(int(b) for b in arr.slack_buses)
+
+    ydiag = ybus.diagonal()
+    indptr, indices, data = ybus.indptr, ybus.indices, ybus.data
+
+    converged = False
+    it = 0
+    norm = np.inf
+    for it in range(1, max_iter + 1):
+        for bus in range(arr.n_bus):
+            if bus in slack:
+                continue
+            lo, hi = indptr[bus], indptr[bus + 1]
+            i_other = data[lo:hi] @ v[indices[lo:hi]] - ydiag[bus] * v[bus]
+            if bus in pv:
+                # Hold |V|; update the angle from the required injection.
+                q_new = (v[bus] * np.conj(i_other + ydiag[bus] * v[bus])).imag
+                s = sbus[bus].real + 1j * q_new
+                v_new = (np.conj(s / v[bus]) - i_other) / ydiag[bus]
+                v[bus] = np.abs(v[bus]) * v_new / np.abs(v_new)
+            else:
+                v_new = (np.conj(sbus[bus] / v[bus]) - i_other) / ydiag[bus]
+                v[bus] = v[bus] + acceleration * (v_new - v[bus])
+
+        mis = v * np.conj(ybus @ v) - sbus
+        free = [b for b in range(arr.n_bus) if b not in slack]
+        pq_rows = [b for b in free if b not in pv]
+        parts = [mis[free].real]
+        if pq_rows:
+            parts.append(mis[pq_rows].imag)
+        norm = float(np.max(np.abs(np.concatenate(parts))))
+        if norm < tol:
+            converged = True
+            break
+
+    return finalize_solution(
+        net,
+        arr,
+        adm,
+        v,
+        converged=converged,
+        iterations=it,
+        method="gauss-seidel",
+        max_mismatch_pu=norm,
+        runtime_s=time.perf_counter() - start,
+        message=(
+            f"converged in {it} sweeps"
+            if converged
+            else f"Gauss-Seidel did not converge in {max_iter} sweeps"
+        ),
+    )

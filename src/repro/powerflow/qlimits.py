@@ -1,0 +1,59 @@
+"""Generator reactive-limit enforcement for the Newton power flow.
+
+After each converged inner solve we compute the reactive output each
+PV/slack bus must supply to hold its setpoint.  Buses whose aggregate
+generator Q capability is exceeded are switched to PQ with Q pinned at
+the violated limit — the classic outer-loop treatment.  Slack buses are
+never switched (someone has to close the balance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..grid.components import BusType
+from ..grid.network import NetworkArrays
+from ..grid.ybus import AdmittanceMatrices
+
+
+def enforce_q_limits(
+    arr: NetworkArrays,
+    adm: AdmittanceMatrices,
+    v: np.ndarray,
+    sbus: np.ndarray,
+    bus_type: np.ndarray,
+    qg: np.ndarray,
+) -> tuple[bool, np.ndarray, np.ndarray, np.ndarray]:
+    """Switch violated PV buses to PQ.
+
+    Returns ``(switched_any, sbus, bus_type, qg)`` with updated copies.
+    """
+    bus_type = bus_type.copy()
+    sbus = sbus.copy()
+    qg = qg.copy()
+
+    s_inj = v * np.conj(adm.ybus @ v)
+    switched = False
+
+    for bus in np.flatnonzero(bus_type == int(BusType.PV)):
+        rows = np.flatnonzero(arr.gen_bus == bus)
+        if rows.size == 0:
+            continue
+        q_needed = s_inj[bus].imag + arr.qd[bus]
+        q_min = arr.qmin[rows].sum()
+        q_max = arr.qmax[rows].sum()
+        if q_needed > q_max + 1e-9:
+            pinned = q_max
+        elif q_needed < q_min - 1e-9:
+            pinned = q_min
+        else:
+            continue
+        switched = True
+        bus_type[bus] = int(BusType.PQ)
+        # Scheduled injection at the now-PQ bus: P as before, Q at limit.
+        p_sched = arr.pg0[rows].sum() - arr.pd[bus]
+        sbus[bus] = p_sched + 1j * (pinned - arr.qd[bus])
+        share = np.maximum(arr.qmax[rows] - arr.qmin[rows], 1e-9)
+        qg[rows] = pinned * share / share.sum()
+
+    return switched, sbus, bus_type, qg

@@ -1,0 +1,73 @@
+"""Automatic solver recovery ladder.
+
+The paper's ACOPF agent "triggers an automatic recovery path (adjust
+solver tolerances, fall back to an alternative algorithm, or request
+clarification)" when validation fails.  This module is the numerical half
+of that: try Newton, then Newton with a flat start and looser tolerance,
+then fast-decoupled, then Gauss-Seidel.  Each attempt is recorded so the
+agent can narrate provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..grid.network import Network
+from .fast_decoupled import solve_fast_decoupled
+from .gauss_seidel import solve_gauss_seidel
+from .newton import solve_newton
+from .solution import PowerFlowResult
+
+
+@dataclass
+class RecoveryAttempt:
+    """One rung of the ladder: what was tried and how it went."""
+
+    method: str
+    options: dict
+    converged: bool
+    max_mismatch_pu: float
+    message: str = ""
+
+
+@dataclass
+class RecoveryTrace:
+    attempts: list[RecoveryAttempt] = field(default_factory=list)
+
+    def record(self, options: dict, result: PowerFlowResult) -> None:
+        self.attempts.append(
+            RecoveryAttempt(
+                method=result.method,
+                options=options,
+                converged=result.converged,
+                max_mismatch_pu=result.max_mismatch_pu,
+                message=result.message,
+            )
+        )
+
+
+def solve_with_recovery(
+    net: Network, *, tol: float = 1e-8
+) -> tuple[PowerFlowResult, RecoveryTrace]:
+    """Run the recovery ladder until a solver converges.
+
+    Returns the first converged result (or the last failure) along with
+    the full trace of attempts for auditability.
+    """
+    trace = RecoveryTrace()
+
+    ladder = (
+        ("newton", lambda: solve_newton(net, tol=tol)),
+        ("newton-flat", lambda: solve_newton(net, tol=max(tol, 1e-6), flat_start=True, max_iter=40)),
+        ("fdpf-xb", lambda: solve_fast_decoupled(net, tol=max(tol, 1e-6))),
+        ("gauss-seidel", lambda: solve_gauss_seidel(net, tol=max(tol, 1e-5), max_iter=3000)),
+    )
+
+    result: PowerFlowResult | None = None
+    for label, attempt in ladder:
+        result = attempt()
+        trace.record({"ladder_step": label, "tol": tol}, result)
+        if result.converged:
+            break
+    assert result is not None
+    return result, trace

@@ -1,0 +1,88 @@
+"""Shared fixtures: cases, solved states, and session factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.cases import load_case
+from repro.grid.network import Network
+
+
+@pytest.fixture
+def case14() -> Network:
+    return load_case("ieee14")
+
+
+@pytest.fixture
+def case30() -> Network:
+    return load_case("ieee30")
+
+
+@pytest.fixture
+def case57() -> Network:
+    return load_case("ieee57")
+
+
+@pytest.fixture
+def case118() -> Network:
+    return load_case("ieee118")
+
+
+@pytest.fixture
+def tiny_net() -> Network:
+    """Hand-built 3-bus network with a known simple structure.
+
+    bus0 (slack, gen) --- bus1 (load) --- bus2 (load, gen)
+           \\____________________________/
+
+    Triangle topology, one rated branch, quadratic costs.
+    """
+    net = Network()
+    net.metadata.case_name = "tiny3"
+    net.add_bus(bus_type=3, vm_pu=1.02)  # slack
+    net.add_bus()
+    net.add_bus(bus_type=2)
+    net.buses[0].bus_type = 3
+    from repro.grid.components import BusType
+
+    net.buses[0].bus_type = BusType.SLACK
+    net.buses[2].bus_type = BusType.PV
+    net.add_gen(0, pg_mw=50.0, pmax_mw=200.0, qmin_mvar=-100, qmax_mvar=100,
+                vg_pu=1.02, cost_coeffs=(0.02, 20.0, 0.0))
+    net.add_gen(2, pg_mw=30.0, pmax_mw=100.0, qmin_mvar=-50, qmax_mvar=50,
+                vg_pu=1.01, cost_coeffs=(0.05, 30.0, 0.0))
+    net.add_load(1, pd_mw=60.0, qd_mvar=20.0)
+    net.add_load(2, pd_mw=20.0, qd_mvar=5.0)
+    net.add_branch(0, 1, r_pu=0.02, x_pu=0.08, b_pu=0.02, rate_a_mva=100.0)
+    net.add_branch(1, 2, r_pu=0.03, x_pu=0.12, b_pu=0.01, rate_a_mva=80.0)
+    net.add_branch(0, 2, r_pu=0.025, x_pu=0.1, b_pu=0.015, rate_a_mva=90.0)
+    return net
+
+
+@pytest.fixture
+def radial_net() -> Network:
+    """4-bus radial feeder: every branch is a bridge."""
+    from repro.grid.components import BusType
+
+    net = Network()
+    net.metadata.case_name = "radial4"
+    for i in range(4):
+        net.add_bus()
+    net.buses[0].bus_type = BusType.SLACK
+    net.add_gen(0, pg_mw=30.0, pmax_mw=100.0, qmin_mvar=-50, qmax_mvar=50,
+                cost_coeffs=(0.01, 10.0, 0.0))
+    for i in range(3):
+        net.add_branch(i, i + 1, r_pu=0.01, x_pu=0.05, rate_a_mva=50.0)
+        net.add_load(i + 1, pd_mw=10.0, qd_mvar=3.0)
+    return net
+
+
+@pytest.fixture
+def session_factory():
+    """Factory for GridMind sessions with deterministic seeds."""
+    from repro.core.session import GridMindSession
+
+    def make(model: str = "gpt-o4-mini", seed: int = 0) -> GridMindSession:
+        return GridMindSession(model=model, seed=seed)
+
+    return make

@@ -1,0 +1,174 @@
+"""Domain agents, planner, coordinator: the full agentic loop."""
+
+import pytest
+
+from repro.core.agents.planner import INTENT_ROUTES, PlannerAgent
+from repro.core.context import AgentContext
+from repro.llm.nlu import Intent
+from repro.llm.simulated import SimulatedLLM
+
+
+@pytest.fixture
+def acopf_agent():
+    from repro.core.agents.acopf_agent import make_acopf_agent
+
+    ctx = AgentContext()
+    backend = SimulatedLLM("gpt-o4-mini", seed=0)
+    return make_acopf_agent(backend, ctx)
+
+
+@pytest.fixture
+def ca_agent(acopf_agent):
+    from repro.core.agents.contingency_agent import make_contingency_agent
+
+    return make_contingency_agent(acopf_agent.backend, acopf_agent.context)
+
+
+class TestACOPFAgent:
+    def test_solve_deposits_fresh_solution(self, acopf_agent):
+        reply = acopf_agent.handle("Solve IEEE 14")
+        assert "8,081" in reply.text
+        assert acopf_agent.context.acopf_fresh()
+        assert reply.tool_calls[0].tool == "solve_acopf_case"
+
+    def test_modify_load_resolves(self, acopf_agent):
+        acopf_agent.handle("Solve IEEE 14")
+        reply = acopf_agent.handle("Increase the load for bus 9 to 50MW")
+        assert "50.0 MW" in reply.text
+        assert acopf_agent.context.acopf_solution.objective_cost > 8081.52
+
+    def test_modification_logged(self, acopf_agent):
+        acopf_agent.handle("Solve IEEE 14")
+        acopf_agent.handle("Increase the load for bus 9 to 50MW")
+        mods = acopf_agent.context.modifications
+        assert len(mods) == 1
+        assert mods[0].kind == "load_change"
+
+    def test_status_reports_case(self, acopf_agent):
+        acopf_agent.handle("Solve IEEE 14")
+        reply = acopf_agent.handle("what's the network status?")
+        assert "ieee14" in reply.text
+        assert "14 buses" in reply.text
+
+    def test_quality_assessment(self, acopf_agent):
+        acopf_agent.handle("Solve IEEE 14")
+        reply = acopf_agent.handle("how good is the solution quality?")
+        assert "/10" in reply.text
+
+    def test_bad_bus_is_clean_error(self, acopf_agent):
+        acopf_agent.handle("Solve IEEE 14")
+        reply = acopf_agent.handle("set the load at bus 99 to 10 MW")
+        assert "problem" in reply.text
+        assert any(not c.ok for c in reply.tool_calls)
+
+    def test_negative_load_rejected(self, acopf_agent):
+        acopf_agent.handle("Solve IEEE 14")
+        reply = acopf_agent.handle("decrease the load at bus 9 by 5000 MW")
+        assert "negative" in reply.text
+
+    def test_economic_impact_workflow(self, acopf_agent):
+        reply = acopf_agent.handle(
+            "Evaluate the economic impact of removing the line between "
+            "buses 4 and 5 in the IEEE 14 case"
+        )
+        tools = [c.tool for c in reply.tool_calls]
+        assert tools == ["solve_acopf_case", "apply_branch_outage", "solve_acopf_case"]
+        assert "raises the hourly dispatch cost" in reply.text
+
+    def test_transcript_grows(self, acopf_agent):
+        acopf_agent.handle("Solve IEEE 14")
+        n1 = len(acopf_agent.transcript)
+        acopf_agent.handle("status?")
+        assert len(acopf_agent.transcript) > n1
+
+
+class TestContingencyAgent:
+    def test_full_ca_flow(self, ca_agent):
+        reply = ca_agent.handle("find the most critical contingencies in ieee14")
+        tools = [c.tool for c in reply.tool_calls]
+        assert "solve_base_case" in tools
+        assert "run_n1_contingency_analysis" in tools
+        assert "Most critical contingencies" in reply.text
+        assert ca_agent.context.ca_result is not None
+
+    def test_ca_reuses_cache_on_repeat(self, ca_agent):
+        ca_agent.handle("run contingency analysis for ieee14")
+        first = ca_agent.context.ca_result
+        assert first.cache_misses == 20
+        ca_agent.handle("run contingency analysis for ieee14")
+        second = ca_agent.context.ca_result
+        assert second.cache_hits == 20
+        assert second.cache_misses == 0
+
+    def test_cache_invalidated_by_modification(self, ca_agent):
+        ca_agent.handle("run contingency analysis for ieee14")
+        ca_agent.context.network.set_load(3, 80.0)
+        ca_agent.handle("run contingency analysis for ieee14")
+        assert ca_agent.context.ca_result.cache_misses == 20
+
+    def test_specific_outage(self, ca_agent):
+        reply = ca_agent.handle(
+            "analyze the contingency of the line between buses 1 and 2 in ieee14"
+        )
+        assert "Outage of line" in reply.text or "branch" in reply.text.lower()
+
+    def test_status_tool(self, ca_agent):
+        ca_agent.handle("run contingency analysis for ieee14")
+        reply = ca_agent.handle("what's the contingency status?")
+        assert "ieee14" in reply.text
+
+
+class TestPlanner:
+    def test_routes_cover_all_intents(self):
+        assert set(INTENT_ROUTES) == set(Intent)
+
+    def test_single_step_plan(self):
+        planner = PlannerAgent(SimulatedLLM("gpt-o4-mini", seed=0))
+        wf = planner.plan("Solve IEEE 118")
+        assert len(wf.steps) == 1
+        assert wf.steps[0].agent == "acopf"
+
+    def test_multi_step_plan(self):
+        planner = PlannerAgent(SimulatedLLM("gpt-o4-mini", seed=0))
+        wf = planner.plan("Solve IEEE 30, then run contingency analysis")
+        assert [s.agent for s in wf.steps] == ["acopf", "contingency"]
+
+    def test_inherited_case_annotated(self):
+        planner = PlannerAgent(SimulatedLLM("gpt-o4-mini", seed=0))
+        wf = planner.plan("Solve IEEE 30, then run contingency analysis")
+        assert "ieee30" in wf.steps[1].clause
+
+    def test_planning_charges_latency(self):
+        backend = SimulatedLLM("gpt-5", seed=0)
+        planner = PlannerAgent(backend, clock=backend.clock)
+        before = backend.clock.now
+        planner.plan("Solve IEEE 118")
+        assert backend.clock.now > before
+
+
+class TestCoordinator:
+    def test_cross_agent_context_sharing(self, session_factory):
+        session = session_factory()
+        session.ask("Solve IEEE 14")
+        cost = session.context.acopf_solution.objective_cost
+        reply = session.ask("now run the contingency analysis")
+        # The CA result carries the base objective from the shared context.
+        assert session.context.ca_result.base_objective_cost == pytest.approx(cost)
+        assert reply.agents_involved == ["contingency"]
+
+    def test_multi_agent_single_request(self, session_factory):
+        session = session_factory()
+        reply = session.ask(
+            "Solve IEEE 14 case, then run contingency analysis and identify "
+            "critical elements"
+        )
+        assert reply.agents_involved == ["acopf", "contingency"]
+        assert reply.workflow.status == "done"
+        assert "[ACOPF analysis]" in reply.text
+        assert "[Contingency analysis]" in reply.text
+
+    def test_workflow_history_kept(self, session_factory):
+        session = session_factory()
+        session.ask("Solve IEEE 14")
+        session.ask("status?")
+        assert len(session.coordinator.history) == 2

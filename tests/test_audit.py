@@ -1,0 +1,58 @@
+"""Numerical-claim auditing (factual-slip detection)."""
+
+from repro.instrumentation.audit import audit_narration
+
+
+def test_grounded_numbers_pass():
+    payloads = [{"objective_cost": 8081.5247, "min_voltage_pu": 1.0136}]
+    result = audit_narration(
+        "The cost is $8,081.52/h with min voltage 1.014 pu.", payloads
+    )
+    assert result.ok
+    assert result.claims >= 2
+
+
+def test_fabricated_number_detected():
+    payloads = [{"objective_cost": 8081.52}]
+    result = audit_narration("The cost is $9,999.99/h.", payloads)
+    assert not result.ok
+    assert 9999.99 in result.slips
+
+
+def test_derived_difference_accepted():
+    payloads = [{"old": 8081.52, "new": 9789.32}]
+    result = audit_narration("The cost went up by $1,707.80/h.", payloads)
+    assert result.ok
+
+
+def test_derived_percentage_accepted():
+    payloads = [{"base": 200.0, "now": 250.0}]
+    result = audit_narration("That is a 25.00% increase.", payloads)
+    assert result.ok
+
+
+def test_small_prose_integers_ignored():
+    result = audit_narration("I found 3 overloads across 2 contingencies.", [{}])
+    assert result.ok
+
+
+def test_rounded_display_forms_accepted():
+    payloads = [{"value": 163.4729}]
+    for text in ("163%", "163.5%", "163.47%"):
+        assert audit_narration(f"loading is {text}", payloads).ok
+
+
+def test_numbers_in_string_payloads_ground():
+    payloads = [{"message": "converged in 18 iterations at 8081.52"}]
+    assert audit_narration("The solve took 8,081.52 units.", payloads).ok
+
+
+def test_empty_text():
+    result = audit_narration("", [{"a": 1.0}])
+    assert result.ok
+    assert result.claims == 0
+
+
+def test_nested_payload_numbers():
+    payloads = [{"outer": {"inner": [{"deep": 1234.56}]}}]
+    assert audit_narration("value 1234.56 observed", payloads).ok

@@ -1,0 +1,109 @@
+"""Case registry and Table 2 component counts."""
+
+import pytest
+
+from repro.grid.cases import (
+    TABLE2_COUNTS,
+    available_cases,
+    build_synthetic,
+    canonical_case_name,
+    case_inventory,
+    load_case,
+)
+
+
+@pytest.mark.parametrize("name", list(TABLE2_COUNTS))
+def test_table2_counts_exact(name):
+    """Every paper case matches Table 2's component counts exactly."""
+    nb, ng, nl, nline, ntr = TABLE2_COUNTS[name]
+    net = load_case(name)
+    assert net.n_bus == nb
+    assert net.n_gen == ng
+    assert net.n_load == nl
+    assert net.n_line == nline
+    assert net.n_transformer == ntr
+
+
+def test_case_inventory_covers_all_paper_cases():
+    inv = case_inventory()
+    assert [row["case"] for row in inv] == list(TABLE2_COUNTS)
+
+
+@pytest.mark.parametrize(
+    "spelling",
+    ["ieee118", "IEEE 118", "case118", "118-bus", "the 118 bus system", "118"],
+)
+def test_canonical_case_name_spellings(spelling):
+    assert canonical_case_name(spelling) == "ieee118"
+
+
+def test_canonical_case_name_unknown():
+    assert canonical_case_name("ieee9999") is None
+    assert canonical_case_name("hello") is None
+
+
+def test_load_case_returns_fresh_copies():
+    a = load_case("ieee14")
+    b = load_case("ieee14")
+    a.set_load(1, 999.0)
+    assert b.loads_at_bus(1)[0].pd_mw != 999.0
+
+
+def test_load_case_unknown_raises():
+    with pytest.raises(KeyError, match="available"):
+        load_case("ieee9999")
+
+
+def test_available_cases_sorted():
+    cases = available_cases()
+    assert "ieee14" in cases and "ieee300" in cases
+
+
+def test_ieee14_is_genuine_data(case14):
+    """Spot-check embedded values against the published case."""
+    assert case14.base_mva == 100.0
+    # Bus 9 (index 8) carries the 19 MVAr shunt.
+    assert case14.buses[8].bs_mvar == pytest.approx(19.0)
+    # Gen 1 cost coefficients.
+    assert case14.gens[0].cost_coeffs[0] == pytest.approx(0.0430292599)
+    # Branch 1-2 impedance.
+    assert case14.branches[0].r_pu == pytest.approx(0.01938)
+    assert case14.branches[0].x_pu == pytest.approx(0.05917)
+
+
+def test_synthetic_generator_small_case_solves():
+    """The live generation path (not the snapshot) produces a solvable net."""
+    from repro.powerflow import solve_newton
+
+    net = build_synthetic(
+        "test-tiny", n_bus=12, n_gen=3, n_load=8, n_line=14, n_trafo=2,
+        mean_load_mw=10.0,
+    )
+    assert net.n_bus == 12
+    assert net.n_line == 14
+    assert net.n_transformer == 2
+    res = solve_newton(net)
+    assert res.converged
+    assert res.min_voltage_pu > 0.9
+
+
+def test_synthetic_generator_is_deterministic():
+    a = build_synthetic("det-check", 10, 2, 6, 12, 1, mean_load_mw=8.0)
+    b = build_synthetic("det-check", 10, 2, 6, 12, 1, mean_load_mw=8.0)
+    from repro.contingency.cache import network_content_hash
+
+    assert network_content_hash(a) == network_content_hash(b)
+
+
+def test_synthetic_generator_rejects_underconnected():
+    with pytest.raises(ValueError, match="edges"):
+        build_synthetic("bad", n_bus=10, n_gen=2, n_load=5, n_line=5, n_trafo=2)
+
+
+def test_synthetic_ratings_are_set(case118):
+    assert all(br.rate_a_mva > 0 for br in case118.branches)
+
+
+def test_snapshot_load_matches_table2_loads(case118):
+    # Calibration shaves loads but keeps them realistic for the scale.
+    assert 2000.0 < case118.total_load_mw() < 6000.0

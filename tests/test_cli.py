@@ -1,0 +1,41 @@
+"""CLI interface: argument parsing and non-interactive mode."""
+
+import pytest
+
+from repro.core.cli import build_parser, main
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.model == "gpt-5-mini"
+    assert args.seed == 0
+
+
+def test_parser_custom_model():
+    args = build_parser().parse_args(["--model", "gpt-o3", "--seed", "7"])
+    assert args.model == "gpt-o3"
+    assert args.seed == 7
+
+
+def test_noninteractive_ask(capsys):
+    rc = main(["--model", "gpt-o4-mini", "--ask", "Solve IEEE 14"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "8,081" in out
+    assert "gpt-o4-mini" in out
+
+
+def test_noninteractive_multiple_asks(capsys):
+    rc = main([
+        "--model", "gpt-o4-mini",
+        "--ask", "Solve IEEE 14",
+        "--ask", "what is the network status?",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "14 buses" in out
+
+
+def test_unknown_model_raises():
+    with pytest.raises(KeyError):
+        main(["--model", "gpt-fake", "--ask", "Solve IEEE 14"])

@@ -1,0 +1,87 @@
+"""Component dataclass validation and cost-curve evaluation."""
+
+import pytest
+
+from repro.grid.components import Branch, Bus, BusType, Generator, Load
+
+
+class TestBus:
+    def test_defaults(self):
+        bus = Bus(index=3)
+        assert bus.name == "bus_3"
+        assert bus.bus_type == BusType.PQ
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Bus(index=-1)
+
+    def test_inverted_voltage_band_rejected(self):
+        with pytest.raises(ValueError, match="vmin"):
+            Bus(index=0, vmin_pu=1.1, vmax_pu=0.9)
+
+    def test_custom_name_kept(self):
+        assert Bus(index=0, name="slack").name == "slack"
+
+
+class TestGenerator:
+    def test_cost_at_quadratic(self):
+        gen = Generator(bus=0, cost_coeffs=(0.1, 20.0, 5.0))
+        # 0.1*10^2 + 20*10 + 5 = 215
+        assert gen.cost_at(10.0) == pytest.approx(215.0)
+
+    def test_cost_at_zero(self):
+        gen = Generator(bus=0, cost_coeffs=(0.1, 20.0, 5.0))
+        assert gen.cost_at(0.0) == pytest.approx(5.0)
+
+    def test_marginal_cost(self):
+        gen = Generator(bus=0, cost_coeffs=(0.1, 20.0, 5.0))
+        # d/dP = 0.2P + 20 at P=10 -> 22
+        assert gen.marginal_cost_at(10.0) == pytest.approx(22.0)
+
+    def test_marginal_cost_linear(self):
+        gen = Generator(bus=0, cost_coeffs=(15.0, 0.0))
+        assert gen.marginal_cost_at(50.0) == pytest.approx(15.0)
+
+    def test_inverted_p_limits_rejected(self):
+        with pytest.raises(ValueError, match="pmin"):
+            Generator(bus=0, pmin_mw=100.0, pmax_mw=50.0)
+
+    def test_inverted_q_limits_rejected(self):
+        with pytest.raises(ValueError, match="qmin"):
+            Generator(bus=0, qmin_mvar=50.0, qmax_mvar=-50.0)
+
+
+class TestBranch:
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="from_bus == to_bus"):
+            Branch(from_bus=2, to_bus=2)
+
+    def test_zero_impedance_rejected(self):
+        with pytest.raises(ValueError, match="zero impedance"):
+            Branch(from_bus=0, to_bus=1, r_pu=0.0, x_pu=0.0)
+
+    def test_effective_tap_nominal(self):
+        br = Branch(from_bus=0, to_bus=1, x_pu=0.1, tap=0.0)
+        assert br.effective_tap == 1.0
+
+    def test_effective_tap_off_nominal(self):
+        br = Branch(from_bus=0, to_bus=1, x_pu=0.1, tap=0.95)
+        assert br.effective_tap == pytest.approx(0.95)
+
+    def test_transformer_naming(self):
+        br = Branch(from_bus=0, to_bus=1, x_pu=0.1, is_transformer=True)
+        assert br.name.startswith("trafo")
+
+    def test_line_naming(self):
+        br = Branch(from_bus=0, to_bus=1, x_pu=0.1)
+        assert br.name.startswith("line")
+
+
+class TestLoad:
+    def test_default_name(self):
+        assert Load(bus=7).name == "load_b7"
+
+    def test_values_stored(self):
+        ld = Load(bus=1, pd_mw=10.0, qd_mvar=2.0)
+        assert ld.pd_mw == 10.0
+        assert ld.qd_mvar == 2.0

@@ -1,0 +1,62 @@
+"""Topology analysis: connectivity, islanding, bridges."""
+
+import pytest
+
+from repro.grid import graph as gg
+from repro.grid.network import Network
+from repro.grid.components import BusType
+
+
+def test_connected_base(case14):
+    assert gg.is_connected(case14)
+
+
+def test_radial_all_bridges(radial_net):
+    assert gg.bridge_branches(radial_net) == {0, 1, 2}
+
+
+def test_meshed_no_bridges(tiny_net):
+    assert gg.bridge_branches(tiny_net) == set()
+
+
+def test_exclusion_simulates_outage(radial_net):
+    assert not gg.is_connected(radial_net, {1})
+
+
+def test_islanded_buses(radial_net):
+    islands = gg.islanded_buses(radial_net, {0})
+    assert islands == [{1, 2, 3}]
+
+
+def test_islanded_none_when_meshed(tiny_net):
+    assert gg.islanded_buses(tiny_net, {0}) == []
+
+
+def test_stranded_load(radial_net):
+    # Cutting branch 1 strands buses 2 and 3 (10 MW each).
+    assert gg.stranded_load_mw(radial_net, {1}) == pytest.approx(20.0)
+
+
+def test_stranded_load_zero_when_connected(tiny_net):
+    assert gg.stranded_load_mw(tiny_net, {0}) == 0.0
+
+
+def test_parallel_branches_not_bridges():
+    net = Network()
+    net.add_bus(bus_type=BusType.SLACK)
+    net.buses[0].bus_type = BusType.SLACK
+    net.add_bus()
+    net.add_branch(0, 1, x_pu=0.1)
+    net.add_branch(0, 1, x_pu=0.2)
+    assert gg.bridge_branches(net) == set()
+
+
+def test_out_of_service_branch_ignored(tiny_net):
+    tiny_net.set_branch_status(2, False)
+    # Now the triangle is a path 0-1-2: both remaining branches are bridges.
+    assert gg.bridge_branches(tiny_net) == {0, 1}
+
+
+def test_case118_has_no_bridges(case118):
+    # The calibrated synthetic 118 meshes every bus into a loop.
+    assert gg.bridge_branches(case118) == set()

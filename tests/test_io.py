@@ -1,0 +1,104 @@
+"""MATPOWER-dict and JSON serialisation round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.grid.io import from_matpower, load_json, save_json, to_matpower
+from repro.grid.cases import load_case
+from repro.powerflow import solve_newton
+
+
+def test_roundtrip_preserves_counts(case14):
+    net2 = from_matpower(to_matpower(case14), name="ieee14")
+    assert net2.n_bus == case14.n_bus
+    assert net2.n_gen == case14.n_gen
+    assert net2.n_load == case14.n_load
+    assert net2.n_branch == case14.n_branch
+    assert net2.n_transformer == case14.n_transformer
+
+
+def test_roundtrip_preserves_power_flow(case14):
+    net2 = from_matpower(to_matpower(case14), name="ieee14")
+    r1 = solve_newton(case14)
+    r2 = solve_newton(net2)
+    assert np.allclose(r1.vm, r2.vm, atol=1e-10)
+    assert np.allclose(r1.va_deg, r2.va_deg, atol=1e-8)
+
+
+def test_roundtrip_preserves_costs(case14):
+    net2 = from_matpower(to_matpower(case14))
+    for g1, g2 in zip(case14.gens, net2.gens):
+        assert g1.cost_coeffs == pytest.approx(g2.cost_coeffs)
+
+
+def test_json_roundtrip(tmp_path, case30):
+    path = tmp_path / "case.json"
+    save_json(case30, path)
+    net2 = load_json(path)
+    assert net2.metadata.case_name == "ieee30"
+    assert net2.summary() == case30.summary()
+
+
+def test_json_roundtrip_out_of_service_branch(tmp_path, case14):
+    case14.set_branch_status(3, False)
+    path = tmp_path / "case.json"
+    save_json(case14, path)
+    net2 = load_json(path)
+    assert not net2.branches[3].in_service
+
+
+def test_load_json_rejects_wrong_format(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"format": "something-else"}')
+    with pytest.raises(ValueError, match="repro-case-v1"):
+        load_json(path)
+
+
+def test_duplicate_bus_numbers_rejected():
+    case = {
+        "baseMVA": 100.0,
+        "bus": [
+            [1, 3, 0, 0, 0, 0, 1, 1.0, 0, 138, 1, 1.06, 0.94],
+            [1, 1, 0, 0, 0, 0, 1, 1.0, 0, 138, 1, 1.06, 0.94],
+        ],
+        "gen": [],
+        "branch": [],
+    }
+    with pytest.raises(ValueError, match="duplicate bus"):
+        from_matpower(case)
+
+
+def test_non_polynomial_gencost_rejected():
+    case = {
+        "baseMVA": 100.0,
+        "bus": [[1, 3, 0, 0, 0, 0, 1, 1.0, 0, 138, 1, 1.06, 0.94]],
+        "gen": [[1, 0, 0, 10, -10, 1.0, 100, 1, 50, 0]],
+        "gencost": [[1, 0, 0, 2, 10.0, 0.0]],  # model 1 = piecewise linear
+        "branch": [],
+    }
+    with pytest.raises(ValueError, match="polynomial"):
+        from_matpower(case)
+
+
+def test_noncontiguous_bus_numbers_remapped():
+    case = {
+        "baseMVA": 100.0,
+        "bus": [
+            [5, 3, 0, 0, 0, 0, 1, 1.0, 0, 138, 1, 1.06, 0.94],
+            [99, 1, 10, 2, 0, 0, 1, 1.0, 0, 138, 1, 1.06, 0.94],
+        ],
+        "gen": [[5, 10, 0, 10, -10, 1.0, 100, 1, 50, 0]],
+        "gencost": [[2, 0, 0, 3, 0.0, 10.0, 0.0]],
+        "branch": [[5, 99, 0.01, 0.05, 0.0, 100, 0, 0, 0, 0, 1]],
+    }
+    net = from_matpower(case)
+    assert net.n_bus == 2
+    assert net.gens[0].bus == 0
+    assert net.branches[0].to_bus == 1
+
+
+def test_transformer_detection_by_ratio(case14):
+    # IEEE 14: branches with off-nominal tap are the 3 transformers.
+    trafos = [b for b in case14.branches if b.is_transformer]
+    assert len(trafos) == 3
+    assert all(b.tap != 0.0 for b in trafos)

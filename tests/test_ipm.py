@@ -1,0 +1,147 @@
+"""Generic interior-point solver on analytic problems with known optima."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.opf.ipm import IPMOptions, solve_ipm
+
+
+def _qp_problem():
+    """min (x-2)^2 + (y-1)^2  s.t. x + y = 2, x - y <= 2, 0<=x,y<=3.
+
+    Unconstrained optimum (2,1) satisfies x+y=3 != 2, so the equality is
+    active: optimum on x+y=2 closest to (2,1) is (1.5, 0.5), where the
+    inequality x-y=1 <= 2 is strictly inactive (non-degenerate).
+    """
+
+    def f(x):
+        g = np.array([2 * (x[0] - 2), 2 * (x[1] - 1)])
+        return (x[0] - 2) ** 2 + (x[1] - 1) ** 2, g
+
+    def geq(x):
+        return np.array([x[0] + x[1] - 2.0]), sparse.csr_matrix([[1.0, 1.0]])
+
+    def h(x):
+        return np.array([x[0] - x[1] - 2.0]), sparse.csr_matrix([[1.0, -1.0]])
+
+    def hess(x, lam, mu):
+        return sparse.csr_matrix(2.0 * np.eye(2))
+
+    return f, geq, h, hess
+
+
+def test_qp_known_solution():
+    f, g, h, hess = _qp_problem()
+    res = solve_ipm(
+        np.array([0.5, 0.5]), f, g, h, hess,
+        xmin=np.zeros(2), xmax=np.full(2, 3.0),
+    )
+    assert res.converged
+    assert res.x == pytest.approx([1.5, 0.5], abs=1e-5)
+
+
+def test_qp_equality_multiplier():
+    """lambda for x+y=2 is -d f/d rhs = -(2(x-2)+... ) -> analytic value 1."""
+    f, g, h, hess = _qp_problem()
+    res = solve_ipm(
+        np.array([0.5, 0.5]), f, g, h, hess,
+        xmin=np.zeros(2), xmax=np.full(2, 3.0),
+    )
+    # KKT: grad f + lam * [1,1] = 0 at optimum -> lam = -2(x-2) = 1.
+    assert res.lam_eq[0] == pytest.approx(1.0, abs=1e-4)
+
+
+def test_active_inequality():
+    """min x^2+y^2 s.t. (none), x+y<=? -> make the ineq active:
+    min (x-3)^2 + (y-3)^2 s.t. x + y <= 2: optimum (1,1), mu = 4."""
+
+    def f(x):
+        return ((x[0] - 3) ** 2 + (x[1] - 3) ** 2,
+                np.array([2 * (x[0] - 3), 2 * (x[1] - 3)]))
+
+    def g(x):
+        return np.empty(0), sparse.csr_matrix((0, 2))
+
+    def h(x):
+        return np.array([x[0] + x[1] - 2.0]), sparse.csr_matrix([[1.0, 1.0]])
+
+    def hess(x, lam, mu):
+        return sparse.csr_matrix(2.0 * np.eye(2))
+
+    res = solve_ipm(
+        np.zeros(2), f, g, h, hess,
+        xmin=np.full(2, -np.inf), xmax=np.full(2, np.inf),
+    )
+    assert res.converged
+    assert res.x == pytest.approx([1.0, 1.0], abs=1e-5)
+    assert res.mu_ineq[0] == pytest.approx(4.0, abs=1e-3)
+
+
+def test_bounds_only_problem():
+    """min (x+1)^2 with 0 <= x <= 5 -> optimum at the bound x=0."""
+
+    def f(x):
+        return (x[0] + 1) ** 2, np.array([2 * (x[0] + 1)])
+
+    def g(x):
+        return np.empty(0), sparse.csr_matrix((0, 1))
+
+    def h(x):
+        return np.empty(0), sparse.csr_matrix((0, 1))
+
+    def hess(x, lam, mu):
+        return sparse.csr_matrix([[2.0]])
+
+    res = solve_ipm(np.array([2.0]), f, g, h, hess,
+                    xmin=np.zeros(1), xmax=np.full(1, 5.0))
+    assert res.converged
+    assert res.x[0] == pytest.approx(0.0, abs=1e-5)
+    # Lower-bound multiplier equals the gradient magnitude at the bound.
+    assert res.mu_lower[0] == pytest.approx(2.0, abs=1e-3)
+
+
+def test_infinite_bounds_excluded():
+    """Rows with infinite bounds must not enter the inequality set."""
+
+    def f(x):
+        return float(x @ x), 2 * x
+
+    def g(x):
+        return np.empty(0), sparse.csr_matrix((0, 3))
+
+    def h(x):
+        return np.empty(0), sparse.csr_matrix((0, 3))
+
+    def hess(x, lam, mu):
+        return sparse.csr_matrix(2.0 * np.eye(3))
+
+    xmin = np.array([-np.inf, 0.5, -np.inf])
+    xmax = np.array([np.inf, np.inf, 2.0])
+    res = solve_ipm(np.array([1.0, 1.0, 1.0]), f, g, h, hess, xmin, xmax)
+    assert res.converged
+    assert res.x == pytest.approx([0.0, 0.5, 0.0], abs=1e-5)
+
+
+def test_max_iter_respected():
+    f, g, h, hess = _qp_problem()
+    res = solve_ipm(
+        np.array([0.5, 0.5]), f, g, h, hess,
+        xmin=np.zeros(2), xmax=np.full(2, 3.0),
+        options=IPMOptions(max_iter=1),
+    )
+    assert not res.converged
+    assert res.iterations == 1
+    assert "did not converge" in res.message
+
+
+def test_history_recorded():
+    f, g, h, hess = _qp_problem()
+    res = solve_ipm(
+        np.array([0.5, 0.5]), f, g, h, hess,
+        xmin=np.zeros(2), xmax=np.full(2, 3.0),
+    )
+    assert len(res.history) == res.iterations
+    assert all("feascond" in h for h in res.history)
+    # Feasibility should be monotonically driven down overall.
+    assert res.history[-1]["feascond"] < res.history[0]["feascond"] + 1e-12

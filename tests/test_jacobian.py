@@ -1,0 +1,182 @@
+"""Finite-difference verification of all analytic derivatives.
+
+The ACOPF stack is only as correct as these formulas; each block is
+checked against central differences on the genuine IEEE 14 state and on a
+perturbed (non-flat) voltage vector.
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.grid.ybus import build_admittances
+from repro.powerflow.jacobian import (
+    d2Abr_dV2,
+    d2Sbus_dV2,
+    d2Sbr_dV2,
+    dSbr_dV,
+    dSbus_dV,
+)
+
+RNG = np.random.default_rng(42)
+EPS = 1e-6
+
+
+@pytest.fixture
+def state(case14):
+    arr = case14.compile()
+    adm = build_admittances(arr)
+    vm = arr.vm0 + RNG.uniform(-0.03, 0.03, arr.n_bus)
+    va = arr.va0 + RNG.uniform(-0.1, 0.1, arr.n_bus)
+    return arr, adm, vm, va
+
+
+def _v(vm, va):
+    return vm * np.exp(1j * va)
+
+
+def test_dsbus_dva_matches_fd(state):
+    arr, adm, vm, va = state
+    ds_dva, _ = dSbus_dV(adm.ybus, _v(vm, va))
+    n = arr.n_bus
+    fd = np.zeros((n, n), dtype=complex)
+    for j in range(n):
+        va_p, va_m = va.copy(), va.copy()
+        va_p[j] += EPS
+        va_m[j] -= EPS
+
+        def s(vaa):
+            v = _v(vm, vaa)
+            return v * np.conj(adm.ybus @ v)
+
+        fd[:, j] = (s(va_p) - s(va_m)) / (2 * EPS)
+    assert np.allclose(ds_dva.toarray(), fd, atol=1e-6)
+
+
+def test_dsbus_dvm_matches_fd(state):
+    arr, adm, vm, va = state
+    _, ds_dvm = dSbus_dV(adm.ybus, _v(vm, va))
+    n = arr.n_bus
+    fd = np.zeros((n, n), dtype=complex)
+    for j in range(n):
+        vm_p, vm_m = vm.copy(), vm.copy()
+        vm_p[j] += EPS
+        vm_m[j] -= EPS
+
+        def s(vmm):
+            v = _v(vmm, va)
+            return v * np.conj(adm.ybus @ v)
+
+        fd[:, j] = (s(vm_p) - s(vm_m)) / (2 * EPS)
+    assert np.allclose(ds_dvm.toarray(), fd, atol=1e-6)
+
+
+def test_dsbr_dv_matches_fd(state):
+    arr, adm, vm, va = state
+    v0 = _v(vm, va)
+    dva, dvm, sf = dSbr_dV(adm.yf, arr.f_bus, v0, arr.n_bus)
+    # value check
+    assert np.allclose(sf, v0[arr.f_bus] * np.conj(adm.yf @ v0))
+
+    nl, nb = arr.n_branch, arr.n_bus
+    fd_a = np.zeros((nl, nb), dtype=complex)
+    fd_m = np.zeros((nl, nb), dtype=complex)
+    for j in range(nb):
+        for target, fd in ((va, fd_a), (vm, fd_m)):
+            p, m = target.copy(), target.copy()
+            p[j] += EPS
+            m[j] -= EPS
+            if target is va:
+                sp = _v(vm, p)[arr.f_bus] * np.conj(adm.yf @ _v(vm, p))
+                sm = _v(vm, m)[arr.f_bus] * np.conj(adm.yf @ _v(vm, m))
+            else:
+                sp = _v(p, va)[arr.f_bus] * np.conj(adm.yf @ _v(p, va))
+                sm = _v(m, va)[arr.f_bus] * np.conj(adm.yf @ _v(m, va))
+            fd[:, j] = (sp - sm) / (2 * EPS)
+    assert np.allclose(dva.toarray(), fd_a, atol=1e-6)
+    assert np.allclose(dvm.toarray(), fd_m, atol=1e-6)
+
+
+def _fd_hessian_blocks(fun_grad, vm, va, lam, nb):
+    """Central differences of lam' * gradient blocks."""
+    gaa = np.zeros((nb, nb))
+    gav = np.zeros((nb, nb))
+    gva = np.zeros((nb, nb))
+    gvv = np.zeros((nb, nb))
+    for j in range(nb):
+        va_p, va_m = va.copy(), va.copy()
+        va_p[j] += EPS
+        va_m[j] -= EPS
+        ga_p, gm_p = fun_grad(vm, va_p)
+        ga_m, gm_m = fun_grad(vm, va_m)
+        gaa[:, j] = (ga_p - ga_m) / (2 * EPS)
+        gva[:, j] = (gm_p - gm_m) / (2 * EPS)
+
+        vm_p, vm_m = vm.copy(), vm.copy()
+        vm_p[j] += EPS
+        vm_m[j] -= EPS
+        ga_p, gm_p = fun_grad(vm_p, va)
+        ga_m, gm_m = fun_grad(vm_m, va)
+        gav[:, j] = (ga_p - ga_m) / (2 * EPS)
+        gvv[:, j] = (gm_p - gm_m) / (2 * EPS)
+    return gaa, gav, gva, gvv
+
+
+def test_d2sbus_dv2_matches_fd(state):
+    arr, adm, vm, va = state
+    nb = arr.n_bus
+    lam = RNG.uniform(-1, 1, nb) + 1j * RNG.uniform(-1, 1, nb)
+
+    def lam_grad(vmm, vaa):
+        dva, dvm = dSbus_dV(adm.ybus, _v(vmm, vaa))
+        # gradient of Re(lam' S): real-valued
+        ga = np.real(dva.T @ lam)
+        gm = np.real(dvm.T @ lam)
+        return ga, gm
+
+    gaa, gav, gva, gvv = d2Sbus_dV2(adm.ybus, _v(vm, va), lam)
+    faa, fav, fva, fvv = _fd_hessian_blocks(lam_grad, vm, va, lam, nb)
+    assert np.allclose(np.real(gaa.toarray()), faa, atol=1e-5)
+    assert np.allclose(np.real(gav.toarray()), fav, atol=1e-5)
+    assert np.allclose(np.real(gva.toarray()), fva, atol=1e-5)
+    assert np.allclose(np.real(gvv.toarray()), fvv, atol=1e-5)
+
+
+def test_d2abr_dv2_matches_fd(state):
+    """Hessian of mu' |Sf|^2 against finite differences of its gradient."""
+    arr, adm, vm, va = state
+    nb, nl = arr.n_bus, arr.n_branch
+    mu = RNG.uniform(0.1, 1.0, nl)
+    rows = np.arange(nl)
+    cf = sparse.csr_matrix((np.ones(nl), (rows, arr.f_bus)), shape=(nl, nb))
+
+    def mu_grad(vmm, vaa):
+        v = _v(vmm, vaa)
+        dva, dvm, sf = dSbr_dV(adm.yf, arr.f_bus, v, nb)
+        dr = sparse.diags(sf.real)
+        di = sparse.diags(sf.imag)
+        da = 2.0 * (dr @ dva.real + di @ dva.imag)
+        dm = 2.0 * (dr @ dvm.real + di @ dvm.imag)
+        return np.asarray(da.T @ mu).ravel(), np.asarray(dm.T @ mu).ravel()
+
+    v0 = _v(vm, va)
+    dva0, dvm0, sf0 = dSbr_dV(adm.yf, arr.f_bus, v0, nb)
+    haa, hav, hva, hvv = d2Abr_dV2(dva0, dvm0, sf0, cf, adm.yf, v0, mu)
+    faa, fav, fva, fvv = _fd_hessian_blocks(mu_grad, vm, va, mu, nb)
+    assert np.allclose(haa.toarray(), faa, atol=1e-5)
+    assert np.allclose(hav.toarray(), fav, atol=1e-5)
+    assert np.allclose(hva.toarray(), fva, atol=1e-5)
+    assert np.allclose(hvv.toarray(), fvv, atol=1e-5)
+
+
+def test_d2sbr_dv2_value_structure(state):
+    """d2Sbr blocks have the expected shapes and finite entries."""
+    arr, adm, vm, va = state
+    nb, nl = arr.n_bus, arr.n_branch
+    rows = np.arange(nl)
+    cf = sparse.csr_matrix((np.ones(nl), (rows, arr.f_bus)), shape=(nl, nb))
+    mu = RNG.uniform(0.1, 1.0, nl) + 0j
+    haa, hav, hva, hvv = d2Sbr_dV2(cf, adm.yf, _v(vm, va), mu)
+    for h in (haa, hav, hva, hvv):
+        assert h.shape == (nb, nb)
+        assert np.all(np.isfinite(h.toarray().real))

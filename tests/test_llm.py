@@ -1,0 +1,219 @@
+"""LLM protocol types, tokens, latency, profiles, and the simulated model."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.llm import (
+    ChatMessage,
+    CONTEXT_MARKER,
+    LatencyModel,
+    PAPER_MODELS,
+    SimulatedLLM,
+    ToolSpec,
+    VirtualClock,
+    get_profile,
+)
+from repro.llm.tokens import estimate_prompt_tokens, estimate_text_tokens, usage_for
+
+
+class TestProtocolTypes:
+    def test_invalid_role_rejected(self):
+        with pytest.raises(ValueError, match="role"):
+            ChatMessage(role="wizard", content="hi")
+
+    def test_usage_addition(self):
+        from repro.llm import TokenUsage
+
+        a = TokenUsage(10, 5)
+        b = TokenUsage(3, 2)
+        c = a + b
+        assert c.prompt_tokens == 13
+        assert c.total_tokens == 20
+
+    def test_tool_spec_signature(self):
+        spec = ToolSpec("f", "d", {"type": "object", "properties": {"a": {}, "b": {}}})
+        assert spec.signature_text() == "f(a, b)"
+
+
+class TestTokens:
+    def test_empty_text(self):
+        assert estimate_text_tokens("") == 0
+
+    def test_scaling(self):
+        short = estimate_text_tokens("word")
+        long = estimate_text_tokens("word " * 100)
+        assert long > short * 50
+
+    def test_prompt_includes_overhead(self):
+        msgs = [ChatMessage(role="user", content="hi")]
+        assert estimate_prompt_tokens(msgs) > estimate_text_tokens("hi")
+
+    def test_usage_for(self):
+        msgs = [ChatMessage(role="user", content="solve ieee 14")]
+        reply = ChatMessage(role="assistant", content="done")
+        usage = usage_for(msgs, reply)
+        assert usage.prompt_tokens > 0
+        assert usage.completion_tokens > 0
+
+
+class TestLatency:
+    def test_clock_advances(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(2.0)
+        assert clock.now == pytest.approx(3.5)
+
+    def test_clock_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_latency_median_roughly_respected(self):
+        model = LatencyModel(10.0, 0.25)
+        rng = np.random.default_rng(0)
+        samples = [model.sample(rng) for _ in range(500)]
+        assert np.median(samples) == pytest.approx(10.0, rel=0.1)
+
+    def test_zero_median_is_free(self):
+        rng = np.random.default_rng(0)
+        assert LatencyModel(0.0).sample(rng) == 0.0
+
+    def test_quantile_monotone(self):
+        m = LatencyModel(10.0, 0.3)
+        assert m.quantile(0.9) > m.quantile(0.5) > m.quantile(0.1)
+
+
+class TestProfiles:
+    def test_all_paper_models_present(self):
+        assert len(PAPER_MODELS) == 6
+        for name in PAPER_MODELS:
+            assert get_profile(name).name == name
+
+    def test_aliases(self):
+        assert get_profile("o3").name == "gpt-o3"
+        assert get_profile("claude").name == "claude-4-sonnet"
+        assert get_profile("GPT-5").name == "gpt-5"
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError, match="available"):
+            get_profile("gpt-99")
+
+    def test_latency_ordering_matches_paper_fig3(self):
+        """o4-mini is the fastest chat model; GPT-5 the slowest."""
+        chat = {m: get_profile(m).chat_latency.median_s for m in PAPER_MODELS}
+        assert chat["gpt-o4-mini"] == min(chat.values())
+        assert chat["gpt-5"] == max(chat.values())
+
+    def test_ca_latency_ordering_matches_paper_table1(self):
+        """Table 1: GPT-5 slowest, o3/5-mini fastest on the CA task."""
+        deep = {m: get_profile(m).deep_latency.median_s for m in PAPER_MODELS}
+        assert deep["gpt-5"] == max(deep.values())
+        assert deep["gpt-o3"] < deep["claude-4-sonnet"]
+
+    def test_only_mini_has_stress_quirk(self):
+        for name in PAPER_MODELS:
+            prof = get_profile(name)
+            expected = name == "gpt-5-mini"
+            assert bool(prof.quirks.get("reports_extra_stress")) is expected
+
+
+def _specs():
+    return [
+        ToolSpec("solve_acopf_case", "solve", {"type": "object", "properties": {"case_name": {}}}),
+        ToolSpec("modify_bus_load", "modify", {"type": "object", "properties": {}}),
+        ToolSpec("get_network_status", "status", {"type": "object", "properties": {}}),
+    ]
+
+
+class TestSimulatedLLM:
+    def test_solve_request_emits_tool_call(self):
+        llm = SimulatedLLM("gpt-o4-mini", seed=1)
+        resp = llm.complete([ChatMessage(role="user", content="Solve IEEE 14")], _specs())
+        assert resp.wants_tools
+        assert resp.message.tool_calls[0].name == "solve_acopf_case"
+        assert resp.message.tool_calls[0].arguments == {"case_name": "ieee14"}
+
+    def test_clarification_without_case(self):
+        llm = SimulatedLLM("gpt-o4-mini", seed=1)
+        resp = llm.complete([ChatMessage(role="user", content="solve it")], _specs())
+        assert not resp.wants_tools
+        assert "Which test case" in resp.message.content
+
+    def test_final_narration_after_tool_result(self):
+        llm = SimulatedLLM("gpt-o4-mini", seed=1)
+        user = ChatMessage(role="user", content="Solve IEEE 14")
+        first = llm.complete([user], _specs())
+        call = first.message.tool_calls[0]
+        result = {
+            "case_name": "ieee14", "solved": True, "objective_cost": 8081.52,
+            "total_generation_mw": 268.3, "losses_mw": 9.3,
+            "min_voltage_pu": 1.014, "max_voltage_pu": 1.06,
+            "max_loading_percent": 1.3, "iterations": 18,
+        }
+        tool_msg = ChatMessage(
+            role="tool", content=json.dumps(result), tool_call_id=call.call_id,
+            name=call.name,
+        )
+        final = llm.complete([user, first.message, tool_msg], _specs())
+        assert not final.wants_tools
+        assert "8,081.52" in final.message.content
+
+    def test_latency_charged_to_clock(self):
+        clock = VirtualClock()
+        llm = SimulatedLLM("gpt-5", seed=1, clock=clock)
+        llm.complete([ChatMessage(role="user", content="Solve IEEE 14")], _specs())
+        assert clock.now > 5.0  # GPT-5 chat latency is ~21 s median
+
+    def test_deterministic_given_seed(self):
+        r1 = SimulatedLLM("gpt-5", seed=7).complete(
+            [ChatMessage(role="user", content="Solve IEEE 14")], _specs()
+        )
+        r2 = SimulatedLLM("gpt-5", seed=7).complete(
+            [ChatMessage(role="user", content="Solve IEEE 14")], _specs()
+        )
+        assert r1.latency_s == r2.latency_s
+        assert r1.message.content == r2.message.content
+
+    def test_context_reuse_skips_resolve(self):
+        """A fresh solved context means MODIFY_LOAD plans no extra solve."""
+        llm = SimulatedLLM("gpt-o4-mini", seed=1)
+        ctx = ChatMessage(
+            role="system",
+            content=CONTEXT_MARKER
+            + json.dumps({"case": "ieee14", "solved": True, "fresh": True}),
+        )
+        user = ChatMessage(role="user", content="increase load at bus 3 to 40 MW")
+        resp = llm.complete([ctx, user], _specs())
+        assert resp.message.tool_calls[0].name == "modify_bus_load"
+
+    def test_stale_context_resolves_first(self):
+        llm = SimulatedLLM("gpt-o4-mini", seed=1)
+        ctx = ChatMessage(
+            role="system",
+            content=CONTEXT_MARKER
+            + json.dumps({"case": "ieee14", "solved": False, "fresh": False}),
+        )
+        user = ChatMessage(role="user", content="increase load at bus 3 to 40 MW")
+        resp = llm.complete([ctx, user], _specs())
+        assert resp.message.tool_calls[0].name == "solve_acopf_case"
+
+    def test_error_payload_surfaces(self):
+        llm = SimulatedLLM("gpt-o4-mini", seed=1)
+        user = ChatMessage(role="user", content="Solve IEEE 14")
+        first = llm.complete([user], _specs())
+        call = first.message.tool_calls[0]
+        err_msg = ChatMessage(
+            role="tool",
+            content=json.dumps({"error": "solver exploded", "tool": call.name}),
+            tool_call_id=call.call_id,
+            name=call.name,
+        )
+        final = llm.complete([user, first.message, err_msg], _specs())
+        assert not final.wants_tools
+        assert "solver exploded" in final.message.content
+
+    def test_greeting_without_user_message(self):
+        llm = SimulatedLLM("gpt-o4-mini", seed=1)
+        resp = llm.complete([ChatMessage(role="system", content="sys")], _specs())
+        assert not resp.wants_tools

@@ -1,0 +1,120 @@
+"""PTDF/LODF sensitivities and two-stage DC screening."""
+
+import numpy as np
+import pytest
+
+from repro.contingency import (
+    compute_factors,
+    compute_ptdf,
+    post_outage_flows,
+    run_n_minus_1,
+    run_screened_n_minus_1,
+    screen_dc,
+)
+from repro.powerflow import solve_dc
+
+
+class TestPTDF:
+    def test_shape_and_ref_column(self, case14):
+        arr = case14.compile()
+        ptdf = compute_ptdf(arr)
+        assert ptdf.shape == (20, 14)
+        ref = int(arr.slack_buses[0])
+        assert np.allclose(ptdf[:, ref], 0.0)
+
+    def test_ptdf_reproduces_dc_flow(self, case14):
+        """PTDF @ injections == DC branch flows (shift-free case)."""
+        arr = case14.compile()
+        ptdf = compute_ptdf(arr)
+        from repro.powerflow.newton import bus_power_injections
+
+        p_inj = bus_power_injections(arr).real
+        dc = solve_dc(case14)
+        flows = ptdf @ p_inj * arr.base_mva
+        assert np.allclose(flows, dc.p_from_mw, atol=1e-6)
+
+    def test_transfer_sums_to_one(self, case14):
+        """A 1 MW transfer from bus k to slack flows entirely through the
+        cut around bus k."""
+        arr = case14.compile()
+        ptdf = compute_ptdf(arr)
+        # Sum of PTDF over branches incident to bus k, oriented out of k.
+        k = 5
+        total = 0.0
+        for row in range(arr.n_branch):
+            if arr.f_bus[row] == k:
+                total += ptdf[row, k]
+            elif arr.t_bus[row] == k:
+                total -= ptdf[row, k]
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+
+class TestLODF:
+    def test_lodf_diagonal_minus_one(self, case14):
+        fac = compute_factors(case14)
+        assert np.allclose(np.diag(fac.lodf), -1.0)
+
+    def test_lodf_predicts_outage_flow(self, case30):
+        """LODF estimate matches an actual DC re-solve after an outage."""
+        fac = compute_factors(case30)
+        dc0 = solve_dc(case30)
+        outage = 7
+        assert outage not in set(int(b) for b in fac.islanding_outages)
+        predicted = dc0.p_from_mw + fac.lodf[:, outage] * dc0.p_from_mw[outage]
+
+        case30.set_branch_status(outage, False)
+        dc1 = solve_dc(case30)
+        case30.set_branch_status(outage, True)
+
+        # Map post-outage rows back to full branch ids.
+        post = {int(b): f for b, f in zip(dc1.branch_ids, dc1.p_from_mw)}
+        for row, bid in enumerate(fac.branch_ids):
+            if int(bid) == outage:
+                continue
+            assert predicted[row] == pytest.approx(post[int(bid)], abs=1e-6)
+
+    def test_radial_outages_flagged_islanding(self, radial_net):
+        fac = compute_factors(radial_net)
+        assert set(int(b) for b in fac.islanding_outages) == {0, 1, 2}
+
+    def test_post_outage_flows_matrix(self, case14):
+        fac = compute_factors(case14)
+        dc = solve_dc(case14)
+        post = post_outage_flows(fac, dc.p_from_mw)
+        assert post.shape == (20, 20)
+        assert np.allclose(np.diag(post), 0.0)
+
+
+class TestScreening:
+    def test_estimates_have_expected_shapes(self, case118):
+        est = screen_dc(case118)
+        assert est.branch_ids.shape == (186,)
+        assert est.est_severity.shape == (186,)
+
+    def test_top_excludes_islanding(self, radial_net):
+        est = screen_dc(radial_net)
+        assert est.top(5) == []  # every outage islands the radial feeder
+
+    def test_screening_finds_the_true_worst(self, case118):
+        """The DC screen's top slice must contain the AC-worst outage."""
+        full = run_n_minus_1(case118)
+        worst_ac = max(
+            (o for o in full.outcomes if o.converged and not o.islanded),
+            key=lambda o: o.max_loading_percent,
+        )
+        est = screen_dc(case118)
+        assert worst_ac.branch_id in est.top(25)
+
+    def test_screened_run_much_smaller(self, case118):
+        report, est = run_screened_n_minus_1(case118, ac_budget=20)
+        assert report.n_contingencies <= 20 + len(est.islanding)
+        assert "screening" in report.extras
+
+    def test_screened_ranking_agrees_on_top1(self, case118):
+        from repro.contingency import rank_critical_elements
+
+        full = run_n_minus_1(case118)
+        screened, _ = run_screened_n_minus_1(case118, ac_budget=25)
+        top_full = rank_critical_elements(full, top_n=3).critical_branch_ids
+        top_screen = rank_critical_elements(screened, top_n=3).critical_branch_ids
+        assert top_full[0] == top_screen[0]

@@ -1,0 +1,146 @@
+"""Narration templates: grounded prose from structured payloads."""
+
+from repro.llm import narration
+
+
+ACOPF_OK = {
+    "case_name": "ieee14",
+    "solved": True,
+    "objective_cost": 8081.52,
+    "total_generation_mw": 268.3,
+    "losses_mw": 9.3,
+    "min_voltage_pu": 1.014,
+    "max_voltage_pu": 1.06,
+    "max_loading_percent": 1.3,
+    "iterations": 18,
+    "solver": "acopf-ipm",
+    "max_mismatch_pu": 5.8e-15,
+    "convergence_message": "converged in 18 iterations",
+}
+
+
+class TestAcopfNarration:
+    def test_terse_has_cost_only(self):
+        text = narration.narrate_acopf(ACOPF_OK, verbosity=0)
+        assert "$8,081.52" in text
+        assert "losses" not in text
+
+    def test_normal_has_voltages(self):
+        text = narration.narrate_acopf(ACOPF_OK, verbosity=1)
+        assert "1.014" in text and "1.060" in text
+
+    def test_expansive_mentions_validation(self):
+        text = narration.narrate_acopf(ACOPF_OK, verbosity=2)
+        assert "1e-4 pu validation" in text
+        assert "18 iterations" in text
+
+    def test_failure_is_honest(self):
+        failed = dict(ACOPF_OK, solved=False, convergence_message="diverged")
+        text = narration.narrate_acopf(failed, verbosity=1)
+        assert "did not converge" in text
+        assert "diverged" in text
+
+
+class TestLoadChangeNarration:
+    def test_reports_old_and_new(self):
+        payload = dict(
+            ACOPF_OK, bus=9, old_pd_mw=9.0, new_pd_mw=50.0, cost_delta=1707.79
+        )
+        text = narration.narrate_load_change(payload, verbosity=1)
+        assert "was 9.0 MW" in text
+        assert "50.0 MW" in text
+        assert "up $1,707.79" in text
+
+    def test_decrease_direction(self):
+        payload = dict(
+            ACOPF_OK, bus=9, old_pd_mw=50.0, new_pd_mw=20.0, cost_delta=-900.0
+        )
+        assert "down $900.00" in narration.narrate_load_change(payload, 0)
+
+
+class TestContingencyNarration:
+    def test_lists_ranked_entries(self):
+        payload = {
+            "case_name": "ieee118",
+            "n_contingencies": 186,
+            "n_violations": 56,
+            "max_overload_percent": 160.3,
+            "critical": [
+                {
+                    "rank": 1, "branch_id": 8, "from_bus": 2, "to_bus": 3,
+                    "is_transformer": False, "severity": 40.2, "converged": True,
+                    "islanded": False, "n_overloads": 3,
+                    "max_loading_percent": 160.3, "min_voltage_pu": 0.95,
+                    "justification": "evidence...",
+                },
+            ],
+            "recommendations": ["Reinforce the corridor around branch 8."],
+        }
+        text = narration.narrate_contingency(payload, verbosity=1)
+        assert "186 outages" in text
+        assert "160%" in text
+        assert "1. Branch 8" in text
+        assert "Reinforce" in text
+
+    def test_islanding_entry(self):
+        payload = {
+            "case_name": "x", "n_contingencies": 10, "n_violations": 1,
+            "max_overload_percent": 0.0,
+            "critical": [{
+                "rank": 1, "branch_id": 2, "from_bus": 0, "to_bus": 1,
+                "is_transformer": True, "severity": 1000.0, "converged": False,
+                "islanded": True, "stranded_load_mw": 44.0, "n_overloads": 0,
+                "max_loading_percent": 0.0, "min_voltage_pu": 1.0,
+            }],
+            "recommendations": [],
+        }
+        text = narration.narrate_contingency(payload, verbosity=0)
+        assert "islands 44 MW" in text
+        assert "transformer 0-1" in text
+
+
+class TestOtherNarrations:
+    def test_status_no_case(self):
+        text = narration.narrate_status({"case_name": ""}, 1)
+        assert "No case is loaded" in text
+
+    def test_status_with_stale_solution(self):
+        payload = {
+            "case_name": "ieee14", "n_bus": 14, "n_gen": 5, "n_load": 11,
+            "n_branch": 20, "solved": True, "objective_cost": 8081.52,
+            "fresh": False, "modifications": ["bus 3 load 10 -> 20 MW"],
+        }
+        text = narration.narrate_status(payload, 1)
+        assert "stale" in text
+        assert "bus 3 load" in text
+
+    def test_quality(self):
+        payload = {
+            "case_name": "ieee14", "overall_score": 8.7,
+            "convergence_quality": 10.0, "constraint_satisfaction": 9.0,
+            "economic_efficiency": 7.1, "system_security": 8.2,
+            "recommendations": ["Solution is healthy."],
+        }
+        text = narration.narrate_quality(payload, 1)
+        assert "8.7/10" in text
+
+    def test_economic_impact_percent(self):
+        payload = dict(
+            ACOPF_OK,
+            base_objective_cost=8081.52,
+            objective_cost=8119.89,
+            branch_desc="transformer 4-5 (branch 9)",
+        )
+        text = narration.narrate_economic_impact(payload, 0)
+        assert "+38.37 $/h" in text or "+38.36 $/h" in text
+        assert "+0.47%" in text
+
+    def test_error_mentions_tool(self):
+        text = narration.narrate_error("bus 99 does not exist", "modify_bus_load")
+        assert "modify_bus_load" in text
+        assert "bus 99" in text
+
+    def test_clarifications(self):
+        assert "IEEE 14" in narration.narrate_clarification("case")
+        assert "bus number" in narration.narrate_clarification("bus")
+        assert "branch index" in narration.narrate_clarification("branch")

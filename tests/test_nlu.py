@@ -1,0 +1,151 @@
+"""Rule-grammar NLU: intent classification and entity extraction."""
+
+import pytest
+
+from repro.llm.nlu import Intent, classify, extract_entities, parse_request
+
+
+class TestIntentClassification:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Solve IEEE 118",
+            "solve the ieee 14 bus case",
+            "run acopf on case30",
+            "please compute the optimal power flow for the 57-bus system",
+            "dispatch the IEEE 300 system",
+        ],
+    )
+    def test_solve_case(self, text):
+        assert classify(text).intent == Intent.SOLVE_CASE
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Increase the load for bus 10 to 50MW",
+            "decrease load at bus 3 by 15 MW",
+            "set the demand at bus 7 to 120 MW",
+            "scale the load at bus 2 by 10%",
+        ],
+    )
+    def test_modify_load(self, text):
+        assert classify(text).intent == Intent.MODIFY_LOAD
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "what's the most critical contingencies in this network",
+            "run N-1 contingency analysis",
+            "run T-1 reliability assessment",
+            "find the weakest elements of the grid",
+            "which lines are most critical?",
+        ],
+    )
+    def test_run_contingency(self, text):
+        assert classify(text).intent == Intent.RUN_CONTINGENCY
+
+    def test_analyze_outage(self):
+        p = classify("analyze the outage of line 12-15")
+        assert p.intent == Intent.ANALYZE_OUTAGE
+
+    def test_economic_impact(self):
+        p = classify(
+            "Evaluate the economic impact of removing transmission line "
+            "between buses 37 and 40 in the IEEE 118-bus case"
+        )
+        assert p.intent == Intent.ECONOMIC_IMPACT
+        assert p.entities["from_bus"] == 37
+        assert p.entities["to_bus"] == 40
+        assert p.entities["case"] == "ieee118"
+
+    def test_status(self):
+        assert classify("what is the network status?").intent == Intent.NETWORK_STATUS
+
+    def test_quality(self):
+        assert (
+            classify("how good is the current solution?").intent
+            == Intent.SOLUTION_QUALITY
+        )
+
+    def test_help(self):
+        assert classify("help").intent == Intent.HELP
+
+    def test_unknown(self):
+        assert classify("tell me a joke about cats").intent == Intent.UNKNOWN
+
+    def test_bare_case_mention_defaults_to_solve(self):
+        p = classify("IEEE 118")
+        assert p.intent == Intent.SOLVE_CASE
+        assert p.confidence < 0.9
+
+    def test_solve_with_contingency_word_is_ca(self):
+        p = classify("solve the contingency analysis for ieee30")
+        assert p.intent == Intent.RUN_CONTINGENCY
+
+
+class TestEntityExtraction:
+    def test_bus_and_mw(self):
+        ents = extract_entities("increase the load for bus 10 to 50MW")
+        assert ents["bus"] == 10
+        assert ents["mw"] == 50.0
+        assert ents["mode"] == "set"
+        assert ents["direction"] == "increase"
+
+    def test_delta_mode(self):
+        ents = extract_entities("reduce load at bus 4 by 12.5 MW")
+        assert ents["mode"] == "delta"
+        assert ents["direction"] == "decrease"
+        assert ents["mw"] == 12.5
+
+    def test_percent(self):
+        ents = extract_entities("increase load at bus 2 by 10%")
+        assert ents["percent"] == 10.0
+
+    def test_line_pair_formats(self):
+        assert extract_entities("line 54-59")["from_bus"] == 54
+        assert extract_entities("between buses 37 and 40")["to_bus"] == 40
+
+    def test_branch_index(self):
+        assert extract_entities("branch index 171")["branch_id"] == 171
+        assert extract_entities("line # 6")["branch_id"] == 6
+
+    def test_top_n(self):
+        assert extract_entities("top-5 critical lines")["top_n"] == 5
+        assert extract_entities("top 10 outages")["top_n"] == 10
+
+    def test_case_spellings(self):
+        for text in ("IEEE 118", "case118", "the 118-bus system"):
+            assert extract_entities(text)["case"] == "ieee118"
+
+    def test_no_entities(self):
+        assert "case" not in extract_entities("hello world")
+
+
+class TestRequestSegmentation:
+    def test_single_clause(self):
+        parts = parse_request("Solve IEEE 118")
+        assert len(parts) == 1
+
+    def test_then_splits(self):
+        parts = parse_request(
+            "Solve IEEE 118 case, then run contingency analysis and identify "
+            "critical elements for reinforcement"
+        )
+        assert len(parts) == 2
+        assert parts[0].intent == Intent.SOLVE_CASE
+        assert parts[1].intent == Intent.RUN_CONTINGENCY
+
+    def test_case_inherited_by_later_clauses(self):
+        parts = parse_request("Solve IEEE 30, then run contingency analysis")
+        assert parts[1].entities.get("inherited_case") == "ieee30"
+
+    def test_critical_fragment_folds_into_ca(self):
+        parts = parse_request(
+            "run contingency analysis, then rank the critical elements"
+        )
+        assert len(parts) == 1
+        assert parts[0].intent == Intent.RUN_CONTINGENCY
+
+    def test_empty_request(self):
+        parts = parse_request("   ")
+        assert parts[0].intent == Intent.UNKNOWN

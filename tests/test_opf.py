@@ -1,0 +1,206 @@
+"""ACOPF / DCOPF: reference objective, KKT conditions, backend agreement."""
+
+import numpy as np
+import pytest
+
+from repro.grid.cases import load_case
+from repro.opf import (
+    IPMOptions,
+    solve_acopf,
+    solve_acopf_scipy,
+    solve_dcopf,
+)
+from repro.opf.acopf import ACOPFProblem
+
+# MATPOWER's reference ACOPF objective for case14.
+IEEE14_OPF_COST = 8081.52
+
+
+class TestACOPF:
+    def test_reference_objective_ieee14(self, case14):
+        res = solve_acopf(case14)
+        assert res.converged
+        assert res.objective_cost == pytest.approx(IEEE14_OPF_COST, abs=0.5)
+
+    def test_reference_dispatch_ieee14(self, case14):
+        res = solve_acopf(case14)
+        # Known optimal dispatch (MATPOWER): ~[194.3, 36.7, 28.7, 0, 8.5] MW.
+        assert res.pg_mw[0] == pytest.approx(194.3, abs=1.0)
+        assert res.pg_mw[1] == pytest.approx(36.7, abs=1.0)
+        assert res.pg_mw[3] == pytest.approx(0.0, abs=0.5)
+
+    def test_power_balance_tight(self, case14):
+        res = solve_acopf(case14)
+        assert res.max_power_balance_mismatch_pu < 1e-7
+
+    def test_voltage_within_limits(self, case14):
+        res = solve_acopf(case14)
+        arr = case14.compile()
+        assert np.all(res.vm <= arr.vmax + 1e-6)
+        assert np.all(res.vm >= arr.vmin - 1e-6)
+
+    def test_dispatch_within_limits(self, case14):
+        res = solve_acopf(case14)
+        arr = case14.compile()
+        pg = res.pg_mw / 100.0
+        assert np.all(pg <= arr.pmax + 1e-6)
+        assert np.all(pg >= arr.pmin - 1e-6)
+
+    def test_thermal_limits_respected(self, case30):
+        res = solve_acopf(case30)
+        assert res.converged
+        assert res.max_loading_percent <= 100.0 + 1e-3
+
+    def test_lmp_ordering(self, case14):
+        """Nodal prices at load pockets exceed the cheap slack bus price."""
+        res = solve_acopf(case14)
+        assert res.lmp_mw[0] < res.lmp_mw[13]
+        # All LMPs positive and in a sane $/MWh band.
+        assert np.all(res.lmp_mw > 10.0)
+        assert np.all(res.lmp_mw < 100.0)
+
+    def test_lmp_equals_marginal_cost_at_slack(self, case14):
+        """At an unconstrained optimum the slack LMP equals the marginal
+        cost of the marginal (slack) generator."""
+        res = solve_acopf(case14)
+        gen0 = case14.gens[0]
+        mc = gen0.marginal_cost_at(res.pg_mw[0])
+        assert res.lmp_mw[0] == pytest.approx(mc, rel=1e-3)
+
+    @pytest.mark.parametrize("name", ["ieee30", "ieee57", "ieee118"])
+    def test_converges_synthetic_cases(self, name):
+        res = solve_acopf(load_case(name))
+        assert res.converged
+        assert res.objective_cost > 0
+
+    def test_cost_increases_with_load(self, case14):
+        base = solve_acopf(case14).objective_cost
+        case14.scale_loads(1.1)
+        up = solve_acopf(case14)
+        assert up.converged
+        assert up.objective_cost > base
+
+    def test_infeasible_reports_not_raises(self, case14):
+        case14.scale_loads(5.0)  # beyond total generation capability
+        res = solve_acopf(case14, options=IPMOptions(max_iter=60))
+        assert not res.converged
+
+    def test_nonconvex_cost_rejected(self, case14):
+        case14.gens[0].cost_coeffs = (-0.5, 10.0, 0.0)
+        case14.touch()
+        with pytest.raises(ValueError, match="convex"):
+            solve_acopf(case14)
+
+    def test_binding_branch_detection(self, case30):
+        res = solve_acopf(case30)
+        binding = res.binding_branches(slack_percent=1.0)
+        for bid in binding:
+            row = list(res.branch_ids).index(bid)
+            assert res.loading_percent[row] >= 99.0
+
+
+class TestProblemAssembly:
+    def test_variable_layout(self, case14):
+        prob = ACOPFProblem(case14)
+        assert prob.nx == 2 * 14 + 2 * 5
+        x0 = prob.initial_point()
+        assert x0.shape == (prob.nx,)
+
+    def test_equality_count(self, case14):
+        prob = ACOPFProblem(case14)
+        g, dg = prob.equalities(prob.initial_point())
+        assert g.shape == (2 * 14 + 1,)  # P, Q balance + angle reference
+        assert dg.shape == (2 * 14 + 1, prob.nx)
+
+    def test_inequality_count(self, case14):
+        prob = ACOPFProblem(case14)
+        h, dh = prob.inequalities(prob.initial_point())
+        assert h.shape == (2 * 20,)  # both ends of all 20 rated branches
+
+    def test_objective_gradient_fd(self, case14):
+        prob = ACOPFProblem(case14)
+        x = prob.initial_point()
+        f0, df = prob.objective(x)
+        eps = 1e-6
+        for j in range(2 * prob.nb, 2 * prob.nb + prob.ng):
+            xp = x.copy()
+            xp[j] += eps
+            fp, _ = prob.objective(xp)
+            assert (fp - f0) / eps == pytest.approx(df[j], rel=1e-4, abs=1e-4)
+
+    def test_equality_jacobian_fd(self, case14):
+        prob = ACOPFProblem(case14)
+        rng = np.random.default_rng(0)
+        x = prob.initial_point() + rng.uniform(-0.01, 0.01, prob.nx)
+        g0, dg = prob.equalities(x)
+        eps = 1e-7
+        cols = rng.choice(prob.nx, size=10, replace=False)
+        for j in cols:
+            xp = x.copy()
+            xp[j] += eps
+            gp, _ = prob.equalities(xp)
+            fd = (gp - g0) / eps
+            assert np.allclose(dg.toarray()[:, j], fd, atol=1e-5)
+
+    def test_inequality_jacobian_fd(self, case14):
+        prob = ACOPFProblem(case14)
+        rng = np.random.default_rng(1)
+        x = prob.initial_point() + rng.uniform(-0.01, 0.01, prob.nx)
+        h0, dh = prob.inequalities(x)
+        eps = 1e-7
+        for j in rng.choice(2 * prob.nb, size=8, replace=False):
+            xp = x.copy()
+            xp[j] += eps
+            hp, _ = prob.inequalities(xp)
+            fd = (hp - h0) / eps
+            assert np.allclose(dh.toarray()[:, j], fd, atol=1e-4)
+
+
+class TestScipyBackend:
+    def test_agrees_with_ipm_on_ieee14(self, case14):
+        ipm = solve_acopf(case14)
+        sp = solve_acopf_scipy(case14)
+        assert sp.converged
+        assert sp.objective_cost == pytest.approx(ipm.objective_cost, rel=1e-3)
+
+    def test_dispatch_agreement(self, case14):
+        ipm = solve_acopf(case14)
+        sp = solve_acopf_scipy(case14)
+        assert np.allclose(ipm.pg_mw, sp.pg_mw, atol=2.0)
+
+
+class TestDCOPF:
+    def test_objective_below_ac(self, case14):
+        """Lossless DC dispatch is cheaper than AC at the same load."""
+        ac = solve_acopf(case14)
+        dc = solve_dcopf(case14)
+        assert dc.converged
+        assert dc.objective_cost < ac.objective_cost
+        # ... but within a few percent (losses are ~5%).
+        assert dc.objective_cost > 0.9 * ac.objective_cost
+
+    def test_balance_exact(self, case14):
+        dc = solve_dcopf(case14)
+        assert dc.pg_mw.sum() == pytest.approx(case14.total_load_mw(), abs=1e-4)
+
+    def test_respects_flow_limits(self, case30):
+        dc = solve_dcopf(case30)
+        assert dc.converged
+        assert dc.max_loading_percent <= 100.0 + 1e-6
+
+    def test_segment_refinement_converges(self, case14):
+        coarse = solve_dcopf(case14, segments=3)
+        fine = solve_dcopf(case14, segments=20)
+        # More segments -> closer to true quadratic optimum (lower cost).
+        assert fine.objective_cost <= coarse.objective_cost + 1e-6
+
+    def test_infeasible_reported(self, case14):
+        case14.scale_loads(5.0)
+        dc = solve_dcopf(case14)
+        assert not dc.converged
+        assert "infeasible" in dc.message.lower()
+
+    def test_lmps_present(self, case30):
+        dc = solve_dcopf(case30)
+        assert dc.lmp_mw.shape == (30,)
+        assert np.all(np.abs(dc.lmp_mw) < 1000.0)

@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Targets: per-unit conversions, cost polynomials, network mutation
+invariants, admittance structure, severity monotonicity, NLU robustness,
+token estimation, and the audit's soundness guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.contingency.outcomes import BALANCED_WEIGHTS, ContingencyOutcome
+from repro.grid import units
+from repro.grid.components import BusType, Generator
+from repro.grid.network import Network
+from repro.grid.ybus import build_admittances
+from repro.instrumentation.audit import audit_narration
+from repro.llm.nlu import classify, extract_entities
+from repro.llm.tokens import estimate_text_tokens
+from repro.opf.costs import PolynomialCosts
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+positive = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False)
+
+
+@given(mw=finite, base=st.floats(min_value=1.0, max_value=1000.0))
+def test_pu_roundtrip(mw, base):
+    assert units.pu_to_mw(units.mw_to_pu(mw, base), base) == np.float64(mw) or abs(
+        units.pu_to_mw(units.mw_to_pu(mw, base), base) - mw
+    ) < 1e-6 * max(1.0, abs(mw))
+
+
+@given(deg=finite)
+def test_angle_roundtrip(deg):
+    assert abs(units.rad_to_deg(units.deg_to_rad(deg)) - deg) < 1e-9 * max(1.0, abs(deg))
+
+
+@given(
+    c2=st.floats(min_value=0.0, max_value=1.0),
+    c1=st.floats(min_value=0.0, max_value=100.0),
+    c0=st.floats(min_value=0.0, max_value=1000.0),
+    p=st.floats(min_value=0.0, max_value=500.0),
+)
+def test_generator_cost_matches_polyval(c2, c1, c0, p):
+    gen = Generator(bus=0, cost_coeffs=(c2, c1, c0))
+    expected = c2 * p * p + c1 * p + c0
+    assert abs(gen.cost_at(p) - expected) < 1e-6 * max(1.0, expected)
+
+
+@given(
+    c2=st.floats(min_value=1e-4, max_value=1.0),
+    c1=st.floats(min_value=0.0, max_value=100.0),
+    pa=st.floats(min_value=0.0, max_value=4.0),
+    pb=st.floats(min_value=0.0, max_value=4.0),
+)
+def test_convex_cost_gradient_monotone(c2, c1, pa, pb):
+    """Convex quadratic => gradient is monotone in dispatch."""
+    costs = PolynomialCosts([(c2, c1, 0.0)], base_mva=100.0)
+    ga = costs.gradient(np.array([pa]))[0]
+    gb = costs.gradient(np.array([pb]))[0]
+    if pa < pb:
+        assert ga <= gb + 1e-9
+    assert costs.is_convex()
+
+
+@given(scale=st.floats(min_value=0.0, max_value=5.0))
+def test_scale_loads_scales_total(scale):
+    net = Network()
+    net.add_bus(bus_type=BusType.SLACK)
+    net.buses[0].bus_type = BusType.SLACK
+    net.add_bus()
+    net.add_branch(0, 1, x_pu=0.1)
+    net.add_load(1, pd_mw=50.0, qd_mvar=10.0)
+    before = net.total_load_mw()
+    net.scale_loads(scale)
+    assert abs(net.total_load_mw() - before * scale) < 1e-9 * max(1.0, before * scale)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    x=st.floats(min_value=0.01, max_value=0.5),
+    r=st.floats(min_value=0.0, max_value=0.2),
+    b=st.floats(min_value=0.0, max_value=0.3),
+    tap=st.floats(min_value=0.9, max_value=1.1),
+)
+def test_ybus_row_sums_equal_shunt_terms(x, r, b, tap):
+    """For a single branch, Ybus entries follow the pi-model identities."""
+    net = Network()
+    net.add_bus(bus_type=BusType.SLACK)
+    net.buses[0].bus_type = BusType.SLACK
+    net.add_bus()
+    net.add_branch(0, 1, r_pu=r, x_pu=x, b_pu=b, tap=tap, is_transformer=True)
+    y = build_admittances(net.compile()).ybus.toarray()
+    ys = 1.0 / (r + 1j * x)
+    assert np.isclose(y[1, 1], ys + 1j * b / 2)
+    assert np.isclose(y[0, 0], (ys + 1j * b / 2) / tap**2)
+    assert np.isclose(y[0, 1], -ys / tap)
+
+
+@given(
+    loading=st.lists(
+        st.floats(min_value=100.1, max_value=300.0), min_size=1, max_size=6
+    )
+)
+def test_severity_monotone_in_overloads(loading):
+    """Adding one more overload never decreases severity."""
+    base = ContingencyOutcome(
+        branch_id=0, branch_name="b", from_bus=0, to_bus=1,
+        is_transformer=False, converged=True,
+        overloads=[(i, pct) for i, pct in enumerate(loading)],
+    )
+    more = ContingencyOutcome(
+        branch_id=0, branch_name="b", from_bus=0, to_bus=1,
+        is_transformer=False, converged=True,
+        overloads=[(i, pct) for i, pct in enumerate(loading)] + [(99, 150.0)],
+    )
+    assert more.severity(BALANCED_WEIGHTS) >= base.severity(BALANCED_WEIGHTS)
+
+
+@given(text=st.text(max_size=200))
+def test_nlu_never_crashes(text):
+    parsed = classify(text)
+    assert parsed.intent is not None
+    extract_entities(text)
+
+
+@given(bus=st.integers(min_value=0, max_value=9999),
+       mw=st.floats(min_value=0.1, max_value=9999.0))
+def test_nlu_extracts_planted_entities(bus, mw):
+    ents = extract_entities(f"set the load at bus {bus} to {mw:.1f} MW")
+    assert ents["bus"] == bus
+    assert abs(ents["mw"] - round(mw, 1)) < 1e-9
+
+
+@given(text=st.text(max_size=500))
+def test_token_estimate_nonnegative_and_monotone(text):
+    n = estimate_text_tokens(text)
+    assert n >= 0
+    assert estimate_text_tokens(text + " more words here") >= n
+
+
+@given(
+    value=st.floats(min_value=500.0, max_value=1e6, allow_nan=False),
+)
+def test_audit_grounds_exact_payload_values(value):
+    """Any number present in a payload is never flagged as a slip."""
+    value = round(value, 2)
+    result = audit_narration(f"the figure is {value:.2f}", [{"v": value}])
+    assert result.ok
+
+
+@given(st.data())
+def test_audit_flags_unrelated_large_numbers(data):
+    payload_value = data.draw(st.floats(min_value=1000.0, max_value=2000.0))
+    fabricated = data.draw(st.floats(min_value=500000.0, max_value=900000.0))
+    result = audit_narration(
+        f"the figure is {fabricated:.2f}", [{"v": round(payload_value, 4)}]
+    )
+    assert not result.ok

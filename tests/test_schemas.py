@@ -1,0 +1,93 @@
+"""Pydantic schema validation (paper Appendix C shapes)."""
+
+import pytest
+from pydantic import ValidationError
+
+from repro.core.schemas import (
+    ACOPFSolution,
+    ContingencyAnalysisResult,
+    ContingencyRecord,
+    Modification,
+    SolutionQuality,
+    WorkflowState,
+    WorkflowStep,
+)
+
+
+class TestACOPFSolution:
+    def test_minimal_construction(self):
+        sol = ACOPFSolution(case_name="ieee14", solved=True, objective_cost=8081.52)
+        assert sol.solver == "acopf-ipm"
+        assert sol.timestamp
+
+    def test_round_trip_dump(self):
+        sol = ACOPFSolution(
+            case_name="ieee14",
+            solved=True,
+            objective_cost=8081.52,
+            gen_dispatch_mw={"gen_0": 194.3},
+        )
+        again = ACOPFSolution(**sol.model_dump())
+        assert again.gen_dispatch_mw["gen_0"] == 194.3
+
+
+class TestSolutionQuality:
+    def test_scores_bounded(self):
+        with pytest.raises(ValidationError):
+            SolutionQuality(
+                overall_score=11.0, convergence_quality=5, constraint_satisfaction=5,
+                economic_efficiency=5, system_security=5,
+            )
+
+    def test_valid_scores(self):
+        q = SolutionQuality(
+            overall_score=8.5, convergence_quality=10.0, constraint_satisfaction=9.0,
+            economic_efficiency=7.0, system_security=8.0,
+            recommendations=["ok"],
+        )
+        assert q.overall_score == 8.5
+
+
+class TestContingencyModels:
+    def test_record_defaults(self):
+        rec = ContingencyRecord(rank=1, branch_id=5, from_bus=0, to_bus=1)
+        assert rec.converged is True
+        assert rec.islanded is False
+
+    def test_result_set(self):
+        res = ContingencyAnalysisResult(
+            case_name="ieee118",
+            n_contingencies=186,
+            n_violations=50,
+            max_overload_percent=160.0,
+            critical=[ContingencyRecord(rank=1, branch_id=8, from_bus=2, to_bus=3)],
+        )
+        assert res.weights_profile == "balanced"
+        assert len(res.critical) == 1
+
+
+class TestWorkflowState:
+    def test_mark_progression(self):
+        wf = WorkflowState(
+            request="solve then analyse",
+            steps=[WorkflowStep(agent="acopf", clause="solve"),
+                   WorkflowStep(agent="contingency", clause="analyse")],
+        )
+        wf.mark(0, "done")
+        assert wf.status == "running"
+        wf.mark(1, "done")
+        assert wf.status == "done"
+
+    def test_mark_failure(self):
+        wf = WorkflowState(
+            request="x",
+            steps=[WorkflowStep(agent="acopf", clause="solve")],
+        )
+        wf.mark(0, "failed")
+        assert wf.status == "failed"
+
+
+def test_modification_record():
+    m = Modification(kind="load_change", description="bus 3 to 50 MW", params={"bus": 3})
+    assert m.params["bus"] == 3
+    assert m.timestamp

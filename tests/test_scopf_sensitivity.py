@@ -1,0 +1,115 @@
+"""Security-constrained OPF and sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.grid.cases import load_case
+from repro.opf import (
+    analyze_sensitivities,
+    estimate_load_impact,
+    flow_sensitivities,
+    solve_acopf,
+    solve_scopf,
+)
+from repro.opf.scopf import _screen_violations
+
+
+class TestSCOPF:
+    @pytest.fixture(scope="class")
+    def secured30(self):
+        return solve_scopf(load_case("ieee30"), relief=1.25)
+
+    def test_converges_and_prices_security(self, secured30):
+        assert secured30.converged
+        assert secured30.security_cost >= 0.0
+        assert secured30.opf.objective_cost == pytest.approx(
+            secured30.economic_cost + secured30.security_cost
+        )
+
+    def test_violations_reduced(self, secured30):
+        hist = secured30.violations_history
+        assert hist[-1] < hist[0]
+
+    def test_unattainable_reported_not_hidden(self, secured30):
+        # The synthetic cases have load-driven overloads: honesty required.
+        for sc in secured30.unattainable:
+            assert sc.severity > 1.25
+            assert "limits branch" in sc.describe()
+
+    def test_secured_dispatch_differs_from_economic(self, secured30):
+        econ = solve_acopf(load_case("ieee30"))
+        assert not np.allclose(secured30.opf.pg_mw, econ.pg_mw, atol=0.5)
+
+    def test_screen_at_relief_one_finds_known_overloads(self):
+        net = load_case("ieee30")
+        econ = solve_acopf(net)
+        cons = _screen_violations(net, econ.pg_mw / 100.0, relief=1.0)
+        assert cons  # the case is not N-1 clean by design
+        # One cut per limited branch (dedup invariant).
+        limited = [sc.limited_branch for sc in cons]
+        assert len(limited) == len(set(limited))
+        # Sorted most severe first.
+        sevs = [sc.severity for sc in cons]
+        assert sevs == sorted(sevs, reverse=True)
+
+    def test_higher_relief_fewer_cuts(self):
+        net = load_case("ieee30")
+        econ = solve_acopf(net)
+        strict = _screen_violations(net, econ.pg_mw / 100.0, relief=1.0)
+        loose = _screen_violations(net, econ.pg_mw / 100.0, relief=1.5)
+        assert len(loose) <= len(strict)
+
+    def test_fully_secure_flag_semantics(self, secured30):
+        # With unattainable cuts present, the system is NOT fully secure.
+        if secured30.unattainable:
+            assert not secured30.fully_secure
+
+
+class TestSensitivities:
+    @pytest.fixture(scope="class")
+    def report30(self):
+        return analyze_sensitivities(load_case("ieee30"))
+
+    def test_reference_price_positive(self, report30):
+        assert 10.0 < report30.reference_price < 100.0
+
+    def test_congestion_zero_at_slack(self, report30):
+        net = load_case("ieee30")
+        slack = net.slack_bus()
+        assert report30.congestion_component[slack] == pytest.approx(0.0)
+
+    def test_extreme_buses_ordered(self, report30):
+        cheapest = report30.cheapest_buses
+        priciest = report30.most_expensive_buses
+        assert cheapest[0][1] <= priciest[0][1]
+
+    def test_predicted_cost_delta_uses_lmp(self, report30):
+        bus = 3
+        assert report30.predicted_cost_delta(bus, 10.0) == pytest.approx(
+            10.0 * report30.lmp_mw[bus]
+        )
+
+    def test_flow_sensitivities_row(self):
+        net = load_case("ieee30")
+        row = flow_sensitivities(net, 0)
+        assert row.shape == (30,)
+        assert np.all(np.abs(row) <= 1.0 + 1e-9)
+
+    def test_flow_sensitivities_missing_branch(self):
+        net = load_case("ieee30")
+        net.set_branch_status(0, False)
+        with pytest.raises(KeyError, match="not in service"):
+            flow_sensitivities(net, 0)
+
+    def test_load_impact_first_order_accuracy(self):
+        """LMP-based prediction within ~10 % of the exact re-solve for a
+        small change (first-order validity)."""
+        net = load_case("ieee30")
+        impact = estimate_load_impact(net, 3, 10.0)
+        assert impact.actual_delta_cost > 0
+        assert impact.prediction_error_percent < 10.0
+
+    def test_load_impact_infeasible_raises(self):
+        net = load_case("ieee30")
+        with pytest.raises(ValueError, match="infeasible"):
+            estimate_load_impact(net, 3, 5000.0)

@@ -1,0 +1,113 @@
+"""GridMindSession end-to-end behaviour and instrumentation."""
+
+import json
+
+import pytest
+
+from repro.core.session import GridMindSession
+
+
+class TestSessionDialogues:
+    def test_paper_dialogue_sequence(self, session_factory):
+        """The abridged dialogue of paper Section 3.2.3."""
+        session = session_factory()
+        r1 = session.ask("Solve IEEE 14.")
+        assert "generation cost" in r1.text
+        r2 = session.ask("Increase the load for bus 10 to 50MW")
+        assert "bus 10" in r2.text
+        r3 = session.ask("what's the most critical contingencies in this network")
+        assert "critical" in r3.text.lower()
+        assert session.metrics()["success_rate"] == 1.0
+
+    def test_clarification_flow(self, session_factory):
+        session = session_factory()
+        reply = session.ask("solve the case please")
+        assert "Which test case" in reply.text
+        reply = session.ask("solve ieee 30")
+        assert "ieee30" in reply.text
+
+    def test_unknown_request_gets_capability_answer(self, session_factory):
+        session = session_factory()
+        reply = session.ask("what's the weather on mars?")
+        assert reply.text  # graceful, non-empty response
+
+    def test_virtual_latency_positive_and_model_scaled(self):
+        fast = GridMindSession(model="gpt-o4-mini", seed=0)
+        slow = GridMindSession(model="gpt-5", seed=0)
+        fast.ask("Solve IEEE 14")
+        slow.ask("Solve IEEE 14")
+        assert 0 < fast.last_record.latency_virtual_s < slow.last_record.latency_virtual_s
+
+    def test_tokens_accounted(self, session_factory):
+        session = session_factory()
+        session.ask("Solve IEEE 14")
+        rec = session.last_record
+        assert rec.prompt_tokens > 0
+        assert rec.completion_tokens > 0
+
+    def test_no_factual_slips_in_standard_flow(self, session_factory):
+        session = session_factory()
+        session.ask("Solve IEEE 14")
+        session.ask("Increase the load at bus 9 by 10 MW")
+        session.ask("most critical contingencies?")
+        assert session.metrics()["factual_slips"] == 0
+
+    def test_failed_tool_marks_request_unsuccessful(self, session_factory):
+        session = session_factory()
+        session.ask("Solve IEEE 14")
+        session.ask("set the load at bus 9999 to 10 MW")
+        assert session.last_record.success is False
+
+
+class TestSessionPersistence:
+    def test_save_resume_roundtrip(self, tmp_path, session_factory):
+        session = session_factory()
+        session.ask("Solve IEEE 14")
+        cost = session.context.acopf_solution.objective_cost
+        path = tmp_path / "s.json"
+        session.save(path)
+
+        resumed = session_factory()
+        resumed.resume(path)
+        assert resumed.context.case_name == "ieee14"
+        assert resumed.context.acopf_solution.objective_cost == pytest.approx(cost)
+        # The resumed session can continue working on the restored state.
+        reply = resumed.ask("what's the network status?")
+        assert "ieee14" in reply.text
+
+    def test_export_log(self, tmp_path, session_factory):
+        session = session_factory()
+        session.ask("Solve IEEE 14")
+        path = tmp_path / "log.jsonl"
+        session.export_log(path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        rec = json.loads(lines[0])
+        assert rec["model"] == "gpt-o4-mini"
+        assert rec["success"] is True
+
+
+class TestRunLogger:
+    def test_by_model_grouping(self):
+        from repro.instrumentation import RequestRecord, RunLogger
+
+        log = RunLogger()
+        for model in ("a", "a", "b"):
+            log.log(
+                RequestRecord(
+                    model=model, request="r", agents=["x"], success=True,
+                    latency_virtual_s=1.0, wall_s=0.1, total_s=1.1,
+                    prompt_tokens=10, completion_tokens=5,
+                    n_tool_calls=1, n_tool_failures=0,
+                )
+            )
+        grouped = log.by_model()
+        assert grouped["a"]["n_requests"] == 2
+        assert grouped["b"]["n_requests"] == 1
+
+    def test_summary_empty(self):
+        from repro.instrumentation import RunLogger
+
+        s = RunLogger().summary()
+        assert s["n_requests"] == 0
+        assert s["success_rate"] == 0.0

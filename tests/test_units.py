@@ -1,0 +1,46 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro.grid import units
+
+
+def test_mw_pu_roundtrip():
+    assert units.pu_to_mw(units.mw_to_pu(123.4)) == pytest.approx(123.4)
+
+
+def test_mw_to_pu_respects_base():
+    assert units.mw_to_pu(50.0, base_mva=200.0) == pytest.approx(0.25)
+
+
+def test_deg_rad_roundtrip():
+    assert units.rad_to_deg(units.deg_to_rad(-37.5)) == pytest.approx(-37.5)
+
+
+def test_deg_to_rad_known_value():
+    assert units.deg_to_rad(180.0) == pytest.approx(math.pi)
+
+
+def test_loading_percent_basic():
+    assert units.loading_percent(50.0, 100.0) == pytest.approx(50.0)
+
+
+def test_loading_percent_overload():
+    assert units.loading_percent(130.0, 100.0) == pytest.approx(130.0)
+
+
+def test_loading_percent_unrated_is_zero():
+    assert units.loading_percent(42.0, 0.0) == 0.0
+    assert units.loading_percent(42.0, -5.0) == 0.0
+
+
+def test_power_balance_tolerance_matches_paper():
+    # The paper validates max power-balance mismatch < 1e-4 p.u.
+    assert units.POWER_BALANCE_TOL_PU == pytest.approx(1e-4)
+
+
+def test_voltage_thresholds_match_paper():
+    assert units.DEFAULT_VMIN_PU == pytest.approx(0.94)
+    assert units.DEFAULT_VMAX_PU == pytest.approx(1.06)

@@ -1,0 +1,102 @@
+"""Admittance-matrix construction."""
+
+import numpy as np
+import pytest
+
+from repro.grid.network import Network
+from repro.grid.components import BusType
+from repro.grid.ybus import build_admittances, build_b_matrices
+
+
+@pytest.fixture
+def two_bus():
+    net = Network()
+    net.add_bus(bus_type=BusType.SLACK)
+    net.add_bus()
+    net.buses[0].bus_type = BusType.SLACK
+    net.add_branch(0, 1, r_pu=0.01, x_pu=0.1, b_pu=0.04)
+    return net
+
+
+def test_ybus_two_bus_values(two_bus):
+    adm = build_admittances(two_bus.compile())
+    ys = 1.0 / (0.01 + 0.1j)
+    y = adm.ybus.toarray()
+    assert y[0, 0] == pytest.approx(ys + 0.02j)
+    assert y[0, 1] == pytest.approx(-ys)
+    assert y[1, 0] == pytest.approx(-ys)
+    assert y[1, 1] == pytest.approx(ys + 0.02j)
+
+
+def test_ybus_symmetric_without_shifters(case14):
+    arr = case14.compile()
+    adm = build_admittances(arr)
+    diff = (adm.ybus - adm.ybus.T).toarray()
+    assert np.max(np.abs(diff)) < 1e-12
+
+
+def test_ybus_shunt_on_diagonal():
+    net = Network()
+    net.add_bus(bus_type=BusType.SLACK, bs_mvar=19.0)
+    net.buses[0].bus_type = BusType.SLACK
+    net.add_bus()
+    net.add_branch(0, 1, x_pu=0.1)
+    y = build_admittances(net.compile()).ybus.toarray()
+    assert y[0, 0].imag == pytest.approx(-1.0 / 0.1 + 0.19)
+
+
+def test_tap_changes_from_side_only():
+    net = Network()
+    net.add_bus(bus_type=BusType.SLACK)
+    net.buses[0].bus_type = BusType.SLACK
+    net.add_bus()
+    net.add_branch(0, 1, x_pu=0.1, tap=0.9, is_transformer=True)
+    y = build_admittances(net.compile()).ybus.toarray()
+    ys = 1.0 / 0.1j
+    assert y[0, 0] == pytest.approx(ys / 0.81)
+    assert y[1, 1] == pytest.approx(ys)
+    assert y[0, 1] == pytest.approx(-ys / 0.9)
+
+
+def test_phase_shifter_asymmetry():
+    net = Network()
+    net.add_bus(bus_type=BusType.SLACK)
+    net.buses[0].bus_type = BusType.SLACK
+    net.add_bus()
+    net.add_branch(0, 1, x_pu=0.1, tap=1.0, shift_deg=10.0, is_transformer=True)
+    y = build_admittances(net.compile()).ybus.toarray()
+    # Off-diagonals are rotated conjugates of each other, not equal.
+    assert y[0, 1] != pytest.approx(y[1, 0])
+    assert abs(y[0, 1]) == pytest.approx(abs(y[1, 0]))
+
+
+def test_branch_flow_operators_consistent(case14):
+    """Yf/Yt row sums against Ybus: current conservation at both ends."""
+    arr = case14.compile()
+    adm = build_admittances(arr)
+    v = arr.vm0 * np.exp(1j * arr.va0)
+    i_f = adm.yf @ v
+    i_t = adm.yt @ v
+    # Net injection at each bus equals sum of branch currents + shunt.
+    inj = adm.ybus @ v
+    recon = np.zeros_like(inj)
+    np.add.at(recon, arr.f_bus, i_f)
+    np.add.at(recon, arr.t_bus, i_t)
+    shunt = (arr.gs + 1j * arr.bs) * v
+    assert np.allclose(recon + shunt, inj, atol=1e-12)
+
+
+def test_b_matrices_shapes(case14):
+    arr = case14.compile()
+    bbus, bf, shift = build_b_matrices(arr)
+    assert bbus.shape == (14, 14)
+    assert bf.shape == (20, 14)
+    assert shift.shape == (20,)
+
+
+def test_b_bus_rows_sum_to_zero(case14):
+    """Without phase shifters Bbus is a weighted Laplacian."""
+    arr = case14.compile()
+    bbus, _, _ = build_b_matrices(arr)
+    sums = np.asarray(bbus.sum(axis=1)).ravel()
+    assert np.max(np.abs(sums)) < 1e-9
