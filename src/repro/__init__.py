@@ -6,6 +6,8 @@ Public API layers (see DESIGN.md for the full inventory):
 * :mod:`repro.powerflow` — AC/DC power-flow solvers,
 * :mod:`repro.opf` — ACOPF (interior point) and DCOPF,
 * :mod:`repro.contingency` — N-1 engine, screening, ranking,
+* :mod:`repro.scenarios` — declarative operating-point studies with a
+  parallel batch runner,
 * :mod:`repro.llm` — simulated LLM backend with paper model profiles,
 * :mod:`repro.core` — agents, tools, shared context, conversational session.
 

@@ -3,8 +3,12 @@
 The paper caches each outage evaluation "under a composite key (case +
 outage + diff hash)" so repeated or incremental studies only recompute
 affected layers.  The diff hash here is a content hash of the exported
-network (loads, topology, dispatch, limits), so *any* modification —
-through the agent tools or directly — safely invalidates stale entries.
+network (loads, topology, dispatch, limits), so any modification made
+through the :class:`~repro.grid.network.Network` API safely invalidates
+stale entries.  The digest is memoised behind the network's mutation
+counter; direct component edits that bypass the API must call
+``Network.touch()`` (the contract ``Network`` itself documents), or the
+memo — like the compiled solver views — will serve pre-edit state.
 """
 
 from __future__ import annotations
@@ -19,10 +23,20 @@ from .outcomes import ContingencyOutcome
 
 
 def network_content_hash(net: Network) -> str:
-    """Stable hash of everything that affects contingency outcomes."""
+    """Stable hash of everything that affects contingency outcomes.
+
+    Serialising a 300-bus network to MATPOWER JSON dominates cache-lookup
+    cost in hot screening loops, so the digest is memoised on the network
+    behind its mutation counter: recomputed only after a ``touch``.
+    """
+    memo = getattr(net, "_content_hash_memo", None)
+    if memo is not None and memo[0] == net.version:
+        return memo[1]
     payload = to_matpower(net)
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+    net._content_hash_memo = (net.version, digest)
+    return digest
 
 
 @dataclass(frozen=True)

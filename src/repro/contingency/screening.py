@@ -40,11 +40,17 @@ class ScreeningEstimate:
         return [b for b in ranked if b not in island][:n]
 
 
-def screen_dc(net: Network) -> ScreeningEstimate:
-    """Estimate every single-outage severity from one LODF product."""
+def screen_dc(net: Network, *, factors=None) -> ScreeningEstimate:
+    """Estimate every single-outage severity from one LODF product.
+
+    ``factors`` accepts precomputed PTDF/LODF sensitivities for the
+    current topology (batch studies reuse one factorisation across many
+    load-level scenarios); by default they are computed here.
+    """
     start = time.perf_counter()
     arr = net.compile()
-    factors = compute_factors(net)
+    if factors is None:
+        factors = compute_factors(net)
     base = solve_dc(net)
     f0 = base.p_from_mw
 

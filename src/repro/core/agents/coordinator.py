@@ -96,8 +96,10 @@ class Coordinator:
             return replies[0].text
         blocks = []
         for r in replies:
-            header = {"acopf": "ACOPF analysis", "contingency": "Contingency analysis"}.get(
-                r.agent, r.agent
-            )
+            header = {
+                "acopf": "ACOPF analysis",
+                "contingency": "Contingency analysis",
+                "study": "Scenario study",
+            }.get(r.agent, r.agent)
             blocks.append(f"[{header}]\n{r.text}")
         return "\n\n".join(blocks)

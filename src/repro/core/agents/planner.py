@@ -24,6 +24,7 @@ INTENT_ROUTES: dict[Intent, str] = {
     Intent.ECONOMIC_IMPACT: "acopf",
     Intent.RUN_CONTINGENCY: "contingency",
     Intent.ANALYZE_OUTAGE: "contingency",
+    Intent.RUN_STUDY: "study",
     Intent.HELP: "acopf",
     Intent.UNKNOWN: "acopf",
 }

@@ -1,0 +1,216 @@
+"""The study agent: batch scenario analysis through function tools.
+
+Where the ACOPF and CA agents answer questions about *one* operating
+point, the study agent answers questions about *families* of them:
+"sweep load 80–120 %", "run a 200-draw Monte Carlo load study", "which
+contingencies stay critical across the day".  Each tool expands a
+compact description into scenarios via :mod:`repro.scenarios.generators`,
+executes them with the :class:`~repro.scenarios.runner.BatchStudyRunner`
+(process-parallel when asked), and deposits the aggregated summary into
+the shared context for follow-up questions and narration.
+"""
+
+from __future__ import annotations
+
+import time
+
+from pydantic import BaseModel, Field
+
+from ...llm.base import LLMBackend
+from ...scenarios import (
+    ANALYSES,
+    BatchStudyRunner,
+    daily_profile,
+    load_sweep,
+    monte_carlo_ensemble,
+    outage_combinations,
+)
+from ..context import AgentContext
+from ..tools import ToolError, ToolRegistry
+from .base import Agent
+
+STUDY_SYSTEM_PROMPT = """\
+You are an expert power-system study agent for batch operating-point
+analysis.  Your capabilities include load sweeps, Monte Carlo load
+ensembles, N-2 outage combination studies, and daily load-profile
+studies over the standard IEEE test cases, each evaluated with power
+flow, DCOPF, ACOPF, or two-stage contingency screening.  Report ensemble
+statistics (violation frequencies, cost percentiles, critical-ranking
+stability), never single-scenario anecdotes, and never fabricate
+numbers; every figure must come from structured study results."""
+
+
+class LoadSweepArgs(BaseModel):
+    case_name: str = Field(description="IEEE case identifier, e.g. 'ieee118'")
+    lo_percent: float = Field(default=80.0, gt=0.0, description="low end, % of base load")
+    hi_percent: float = Field(default=120.0, gt=0.0, description="high end, % of base load")
+    steps: int = Field(default=9, ge=2, le=201)
+    analysis: str = Field(default="acopf")
+    n_jobs: int = Field(default=1, ge=1, le=64)
+
+
+class MonteCarloArgs(BaseModel):
+    case_name: str = Field(description="IEEE case identifier, e.g. 'ieee118'")
+    n_scenarios: int = Field(default=200, ge=1, le=5000)
+    sigma_percent: float = Field(default=5.0, ge=0.0, le=100.0)
+    seed: int = Field(default=0, ge=0)
+    analysis: str = Field(default="powerflow")
+    n_jobs: int = Field(default=1, ge=1, le=64)
+
+
+class OutageStudyArgs(BaseModel):
+    case_name: str = Field(description="IEEE case identifier, e.g. 'ieee118'")
+    depth: int = Field(default=2, ge=1, le=3, description="outages per scenario (N-k)")
+    limit: int = Field(default=50, ge=1, le=5000, description="max combinations")
+    analysis: str = Field(default="powerflow")
+    n_jobs: int = Field(default=1, ge=1, le=64)
+
+
+class ProfileStudyArgs(BaseModel):
+    case_name: str = Field(description="IEEE case identifier, e.g. 'ieee118'")
+    steps: int = Field(default=24, ge=1, le=288)
+    trough_percent: float = Field(default=65.0, gt=0.0)
+    peak_percent: float = Field(default=100.0, gt=0.0)
+    analysis: str = Field(default="powerflow")
+    n_jobs: int = Field(default=1, ge=1, le=64)
+
+
+def _check_analysis(analysis: str) -> None:
+    if analysis not in ANALYSES:
+        raise ToolError(
+            f"unknown analysis {analysis!r}; use one of {sorted(ANALYSES)}"
+        )
+
+
+def build_study_registry(context: AgentContext) -> ToolRegistry:
+    """Register the study agent's function tools over the shared context."""
+    registry = ToolRegistry()
+
+    def _execute(case_name: str, scenarios, analysis: str, n_jobs: int, kind: str) -> dict:
+        _check_analysis(analysis)
+        t0 = time.perf_counter()
+        net = context.activate_case(case_name)
+        runner = BatchStudyRunner(analysis=analysis, n_jobs=n_jobs)
+        study = runner.run(net, scenarios)
+        payload = study.to_dict(max_scenarios=5)
+        payload["study_kind"] = kind
+        context.study_summary = payload
+        context.record_provenance(
+            f"run_{kind}_study",
+            solver=analysis,
+            ok=True,
+            duration_s=time.perf_counter() - t0,
+            n_scenarios=study.n_scenarios,
+            n_jobs=study.n_jobs,
+        )
+        return payload
+
+    def run_load_sweep_study(
+        case_name: str,
+        lo_percent: float = 80.0,
+        hi_percent: float = 120.0,
+        steps: int = 9,
+        analysis: str = "acopf",
+        n_jobs: int = 1,
+    ) -> dict:
+        if hi_percent < lo_percent:
+            raise ToolError(
+                f"sweep range is inverted: {lo_percent}% .. {hi_percent}%"
+            )
+        scenarios = load_sweep(lo_percent / 100.0, hi_percent / 100.0, steps)
+        return _execute(case_name, scenarios, analysis, n_jobs, "load_sweep")
+
+    def run_monte_carlo_study(
+        case_name: str,
+        n_scenarios: int = 200,
+        sigma_percent: float = 5.0,
+        seed: int = 0,
+        analysis: str = "powerflow",
+        n_jobs: int = 1,
+    ) -> dict:
+        scenarios = monte_carlo_ensemble(
+            n=n_scenarios, sigma=sigma_percent / 100.0, seed=seed
+        )
+        return _execute(case_name, scenarios, analysis, n_jobs, "monte_carlo")
+
+    def run_outage_study(
+        case_name: str,
+        depth: int = 2,
+        limit: int = 50,
+        analysis: str = "powerflow",
+        n_jobs: int = 1,
+    ) -> dict:
+        # activate_case is idempotent, so _execute's repeat call is free.
+        net = context.activate_case(case_name)
+        scenarios = outage_combinations(net, depth=depth, limit=limit)
+        payload = _execute(case_name, scenarios, analysis, n_jobs, "outage")
+        payload["outage_depth"] = depth
+        return payload
+
+    def run_daily_profile_study(
+        case_name: str,
+        steps: int = 24,
+        trough_percent: float = 65.0,
+        peak_percent: float = 100.0,
+        analysis: str = "powerflow",
+        n_jobs: int = 1,
+    ) -> dict:
+        if peak_percent < trough_percent:
+            raise ToolError(
+                f"profile band is inverted: {trough_percent}% .. {peak_percent}%"
+            )
+        scenarios = daily_profile(
+            steps=steps, trough=trough_percent / 100.0, peak=peak_percent / 100.0
+        )
+        return _execute(case_name, scenarios, analysis, n_jobs, "daily_profile")
+
+    def get_study_status() -> dict:
+        if context.study_summary is None:
+            return {
+                "case_name": context.case_name or None,
+                "study": None,
+                "message": "no study has been run in this session",
+            }
+        return {"case_name": context.case_name, "study": context.study_summary}
+
+    registry.register(
+        "run_load_sweep_study",
+        "Sweep uniform load scaling across a range and analyse every point.",
+        run_load_sweep_study,
+        LoadSweepArgs,
+    )
+    registry.register(
+        "run_monte_carlo_study",
+        "Run a Monte Carlo load ensemble (Gaussian per-load draws) study.",
+        run_monte_carlo_study,
+        MonteCarloArgs,
+    )
+    registry.register(
+        "run_outage_study",
+        "Evaluate N-k branch outage combinations as a batch study.",
+        run_outage_study,
+        OutageStudyArgs,
+    )
+    registry.register(
+        "run_daily_profile_study",
+        "Step through a daily load profile and analyse every time point.",
+        run_daily_profile_study,
+        ProfileStudyArgs,
+    )
+    registry.register(
+        "get_study_status",
+        "Summarise the most recent batch study in this session.",
+        get_study_status,
+    )
+    return registry
+
+
+def make_study_agent(backend: LLMBackend, context: AgentContext) -> Agent:
+    """Assemble the study agent over a backend and shared context."""
+    return Agent(
+        name="study",
+        system_prompt=STUDY_SYSTEM_PROMPT,
+        backend=backend,
+        registry=build_study_registry(context),
+        context=context,
+    )

@@ -1,15 +1,22 @@
-"""Interactive CLI chat interface (paper Appendix D.1).
+"""Interactive CLI chat interface (paper Appendix D.1) plus batch studies.
 
 Plain-stdlib REPL with light ANSI colour — the paper uses Rich, which is
 not available offline; the interaction loop is identical.  Run with::
 
     gridmind --model gpt-5-mini
     gridmind --model claude-4-sonnet --seed 7
+
+The ``study`` subcommand runs declarative scenario studies directly
+against the batch engine (no chat loop)::
+
+    gridmind study --case ieee118 --kind monte-carlo -n 200 --jobs 4
+    gridmind study --case ieee57 --kind sweep --lo 80 --hi 120 --analysis acopf
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from ..llm.profiles import PAPER_MODELS
@@ -51,11 +58,155 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="TEXT",
         help="non-interactive: process this request and exit (repeatable)",
     )
+
+    sub = parser.add_subparsers(dest="command")
+    study = sub.add_parser(
+        "study",
+        help="run a declarative scenario study with the parallel batch runner",
+        description=(
+            "Expand a scenario family (load sweep, Monte Carlo ensemble, N-k "
+            "outage combinations, daily profile) and analyse every operating "
+            "point with the selected engine."
+        ),
+    )
+    study.add_argument("--case", required=True, help="case name, e.g. ieee118")
+    study.add_argument(
+        "--kind",
+        choices=("sweep", "monte-carlo", "outage", "profile"),
+        default="monte-carlo",
+    )
+    study.add_argument(
+        "-n",
+        "--scenarios",
+        type=int,
+        default=None,
+        metavar="N",
+        help="scenario count: draws (monte-carlo), steps (sweep/profile), "
+        "combination cap (outage)",
+    )
+    study.add_argument(
+        "--analysis",
+        choices=("powerflow", "dcopf", "acopf", "screening"),
+        default="powerflow",
+    )
+    study.add_argument("--jobs", type=int, default=1, help="worker processes")
+    study.add_argument("--lo", type=float, default=80.0, help="sweep low, %% of base")
+    study.add_argument("--hi", type=float, default=120.0, help="sweep high, %% of base")
+    study.add_argument(
+        "--sigma", type=float, default=5.0, help="monte-carlo load std-dev, %%"
+    )
+    study.add_argument("--depth", type=int, default=2, help="outages per scenario")
+    study.add_argument(
+        "--json", action="store_true", help="emit the full study summary as JSON"
+    )
+    # Also accepted after the subcommand; SUPPRESS keeps a pre-subcommand
+    # `gridmind --seed 7 study ...` from being clobbered by a default.
+    study.add_argument(
+        "--seed",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="ensemble RNG seed (monte-carlo draws)",
+    )
     return parser
+
+
+def _build_study_scenarios(args):
+    from ..grid.cases import load_case
+    from ..scenarios import (
+        daily_profile,
+        load_sweep,
+        monte_carlo_ensemble,
+        outage_combinations,
+    )
+
+    if args.scenarios is not None and args.scenarios < 1:
+        raise ValueError(f"-n/--scenarios must be >= 1, got {args.scenarios}")
+    net = load_case(args.case)
+    if args.kind == "sweep":
+        scenarios = load_sweep(
+            args.lo / 100.0, args.hi / 100.0, args.scenarios or 9
+        )
+    elif args.kind == "profile":
+        scenarios = daily_profile(steps=args.scenarios or 24)
+    elif args.kind == "outage":
+        scenarios = outage_combinations(
+            net, depth=args.depth, limit=args.scenarios or 50
+        )
+    else:
+        scenarios = monte_carlo_ensemble(
+            n=args.scenarios or 200, sigma=args.sigma / 100.0, seed=args.seed
+        )
+    return net, scenarios
+
+
+def run_study(args) -> int:
+    """Execute the ``study`` subcommand against the batch engine."""
+    from ..scenarios import BatchStudyRunner
+
+    try:
+        net, scenarios = _build_study_scenarios(args)
+        runner = BatchStudyRunner(analysis=args.analysis, n_jobs=args.jobs)
+        study = runner.run(net, scenarios)
+    except (KeyError, ValueError) as exc:
+        # Domain errors (unknown case, bad ranges) are user input problems:
+        # report them like argparse does instead of dumping a traceback.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"gridmind study: error: {message}", file=sys.stderr)
+        return 2
+    payload = study.to_dict()
+
+    if args.json:
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
+
+    agg = payload["aggregate"]
+    print(
+        f"{args.kind} study on {study.case_name}: {study.n_scenarios} scenarios, "
+        f"{study.analysis} analysis, {study.n_jobs} worker(s), "
+        f"{study.runtime_s:.2f}s"
+    )
+    print(
+        f"  converged {agg['n_converged']}/{agg['n_scenarios']}"
+        f" | violations in {100.0 * agg['violation_rate']:.0f}% of scenarios"
+        f" | errors {agg['n_errors']}"
+    )
+    for label, key in (
+        ("cost $/h", "cost_stats"),
+        ("peak loading %", "loading_stats"),
+        ("min voltage pu", "min_voltage_stats"),
+    ):
+        stats = agg.get(key)
+        if stats:
+            print(
+                f"  {label:>15s}: p50 {stats['p50']:.2f}  p95 {stats['p95']:.2f}  "
+                f"range [{stats['min']:.2f}, {stats['max']:.2f}]"
+            )
+    if agg.get("branch_overload_freq"):
+        worst = list(agg["branch_overload_freq"].items())[:5]
+        print(
+            "  overload frequency: "
+            + ", ".join(f"branch {b}: {100.0 * f:.0f}%" for b, f in worst)
+        )
+    if agg.get("stable_critical"):
+        print(
+            "  stable critical branches: "
+            + ", ".join(str(b) for b in agg["stable_critical"])
+        )
+    print("  most stressed scenarios:")
+    for w in payload["worst_scenarios"][:5]:
+        line = f"    {w['name']}: peak loading {w['max_loading_percent']:.1f}%"
+        if w.get("objective_cost") is not None:
+            line += f", cost ${w['objective_cost']:,.2f}/h"
+        if not w["converged"]:
+            line += " (diverged)" if not w.get("error") else f" ({w['error']})"
+        print(line)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "command", None) == "study":
+        return run_study(args)
     color = _supports_color(sys.stdout)
     cyan = _CYAN if color else ""
     dim = _DIM if color else ""

@@ -49,6 +49,7 @@ class AgentContext:
     modifications: list[Modification] = field(default_factory=list)
     provenance: list[ProvenanceRecord] = field(default_factory=list)
     contingency_cache: ContingencyCache = field(default_factory=ContingencyCache)
+    study_summary: dict | None = None  # last batch-study payload (JSON-ready)
 
     # ------------------------------------------------------------------
     # case management
@@ -69,6 +70,7 @@ class AgentContext:
         self.base_pf_version = -1
         self.ca_result = None
         self.ca_version = -1
+        self.study_summary = None
         self.modifications.clear()
         return self.network
 
@@ -156,6 +158,9 @@ class AgentContext:
         if self.ca_result is not None:
             out["ca_fresh"] = self.ca_fresh()
             out["ca_max_overload_percent"] = self.ca_result.max_overload_percent
+        if self.study_summary is not None:
+            out["study_kind"] = self.study_summary.get("study_kind")
+            out["study_n_scenarios"] = self.study_summary.get("n_scenarios")
         return out
 
     def system_model(self) -> PowerSystemModel:
@@ -196,6 +201,7 @@ class AgentContext:
             "acopf_is_fresh": self.acopf_fresh(),
             "ca_result": self.ca_result.model_dump() if self.ca_result else None,
             "ca_is_fresh": self.ca_fresh(),
+            "study_summary": self.study_summary,
             "modifications": [m.model_dump() for m in self.modifications],
             "provenance": [p.model_dump() for p in self.provenance],
         }
@@ -223,6 +229,7 @@ class AgentContext:
             ctx.ca_result = ContingencyAnalysisResult(**payload["ca_result"])
             if payload.get("ca_is_fresh") and ctx.network is not None:
                 ctx.ca_version = ctx.network.version
+        ctx.study_summary = payload.get("study_summary")
         ctx.modifications = [
             Modification(**m) for m in payload.get("modifications", [])
         ]

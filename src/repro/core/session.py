@@ -29,6 +29,7 @@ from .agents.acopf_agent import make_acopf_agent
 from .agents.contingency_agent import make_contingency_agent
 from .agents.coordinator import Coordinator, SessionReply
 from .agents.planner import PlannerAgent
+from .agents.study_agent import make_study_agent
 from .context import AgentContext
 
 
@@ -43,6 +44,7 @@ class GridMindSession:
         self.agents = {
             "acopf": make_acopf_agent(self.backend, self.context),
             "contingency": make_contingency_agent(self.backend, self.context),
+            "study": make_study_agent(self.backend, self.context),
         }
         self.planner = PlannerAgent(self.backend, clock=self.clock)
         self.coordinator = Coordinator(self.planner, self.agents, self.context)
@@ -110,9 +112,11 @@ class GridMindSession:
         # Re-bind the tool registries to the restored context.
         from .agents.acopf_agent import build_acopf_registry
         from .agents.contingency_agent import build_ca_registry
+        from .agents.study_agent import build_study_registry
 
         self.agents["acopf"].registry = build_acopf_registry(self.context)
         self.agents["contingency"].registry = build_ca_registry(self.context)
+        self.agents["study"].registry = build_study_registry(self.context)
 
     def export_log(self, path: str | Path) -> None:
         """Dump instrumentation records as JSON lines."""

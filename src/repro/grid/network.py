@@ -115,6 +115,10 @@ class Network:
         self.branches: list[Branch] = []
         self._version = 0
         self._compiled: NetworkArrays | None = None
+        # (version, digest) memo maintained by contingency.cache — cleared
+        # on every mutation so hot cache-lookup loops only re-serialise the
+        # network when its content can actually have changed.
+        self._content_hash_memo: tuple[int, str] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -224,6 +228,7 @@ class Network:
         """Invalidate compiled views after an out-of-band component edit."""
         self._version += 1
         self._compiled = None
+        self._content_hash_memo = None
 
     def set_load(self, bus: int, pd_mw: float, qd_mvar: float | None = None) -> Load:
         """Set the total load at ``bus``, creating a load if none exists.

@@ -130,6 +130,80 @@ def narrate_contingency(res: dict, verbosity: int) -> str:
     return "\n".join(lines)
 
 
+_STUDY_KIND_LABELS = {
+    "load_sweep": "load sweep",
+    "monte_carlo": "Monte Carlo load",
+    "outage": "outage combination",
+    "daily_profile": "daily load-profile",
+}
+
+
+def narrate_study(res: dict, verbosity: int) -> str:
+    if not res or not res.get("n_scenarios"):
+        return (
+            "No batch study has been run yet in this session. Ask for a load "
+            "sweep, Monte Carlo ensemble, N-2 outage study, or daily profile."
+        )
+    agg = res.get("aggregate", {})
+    kind = _STUDY_KIND_LABELS.get(res.get("study_kind", ""), "scenario")
+    head = (
+        f"Completed a {res['n_scenarios']}-scenario {kind} study on "
+        f"{res['case_name']} ({res.get('analysis', '?')} analysis, "
+        f"{res.get('n_jobs', 1)} worker(s), {res.get('runtime_s', 0):.1f}s compute): "
+        f"{agg.get('n_converged', '?')}/{res['n_scenarios']} scenarios converged, "
+        f"{100.0 * agg.get('violation_rate', 0.0):.0f}% show limit violations."
+    )
+    if verbosity == 0:
+        return head
+    lines = [head]
+    cost = agg.get("cost_stats")
+    if cost:
+        lines.append(
+            f"Cost distribution: median {_money(cost['p50'])}/h, "
+            f"p95 {_money(cost['p95'])}/h "
+            f"(range {_money(cost['min'])} – {_money(cost['max'])})."
+        )
+    loading = agg.get("loading_stats")
+    if loading:
+        lines.append(
+            f"Peak branch loading: median {loading['p50']:.1f}%, "
+            f"p95 {loading['p95']:.1f}%, worst {loading['max']:.1f}%."
+        )
+    freq = agg.get("branch_overload_freq") or {}
+    if freq:
+        worst = list(freq.items())[:3]
+        lines.append(
+            "Most frequently overloaded branches: "
+            + ", ".join(f"branch {b} ({100.0 * f:.0f}% of scenarios)" for b, f in worst)
+            + "."
+        )
+    stable = agg.get("stable_critical")
+    if stable:
+        lines.append(
+            "Contingencies staying critical across the ensemble: branches "
+            + ", ".join(str(b) for b in stable)
+            + "."
+        )
+    if verbosity >= 2:
+        worst_scn = res.get("worst_scenarios") or []
+        if worst_scn:
+            lines.append("Most stressed scenarios:")
+            for w in worst_scn[:3]:
+                bit = (
+                    f"  - {w['name']}: peak loading {w['max_loading_percent']:.1f}%"
+                )
+                if w.get("objective_cost") is not None:
+                    bit += f", cost {_money(w['objective_cost'])}/h"
+                if not w.get("converged", True):
+                    bit += " (did not converge)"
+                lines.append(bit)
+        lines.append(
+            "All ensemble statistics are aggregated from structured per-scenario "
+            "solver results stored in the session context."
+        )
+    return "\n".join(lines)
+
+
 def narrate_specific_outage(res: dict, verbosity: int) -> str:
     body = res.get("summary_line", "Outage analysed.")
     if verbosity == 0:

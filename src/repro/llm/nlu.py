@@ -25,6 +25,7 @@ class Intent(enum.Enum):
     ANALYZE_OUTAGE = "analyze_outage"
     ECONOMIC_IMPACT = "economic_impact"
     SOLUTION_QUALITY = "solution_quality"
+    RUN_STUDY = "run_study"
     HELP = "help"
     UNKNOWN = "unknown"
 
@@ -56,6 +57,36 @@ _LINE_PAIR_RE = re.compile(r"\b(?:line|branch|transformer)\s+(\d+)\s*[-–to]+\s
 _BRANCH_IDX_RE = re.compile(r"\b(?:branch|line)\s*(?:index|idx|#)\s*(\d+)", re.I)
 _TOP_N_RE = re.compile(r"\btop[\s-]*(\d+)", re.I)
 _CASE_HINT_RE = re.compile(r"\b(?:ieee|case)[\s_\-]*(\d+)|(\d+)[\s-]*bus\b", re.I)
+_NSCEN_RE = re.compile(
+    r"(\d+)[\s-]*(?:draw|scenario|sample|iteration|trial|step|point)s?\b", re.I
+)
+_RANGE_RE = re.compile(
+    r"(\d+(?:\.\d+)?)\s*(?:%|percent)?\s*(?:to|-|–|—|through)\s*"
+    r"(\d+(?:\.\d+)?)\s*(?:%|percent)",
+    re.I,
+)
+_SIGMA_RE = re.compile(
+    r"(?:sigma|std(?:dev)?|standard\s+deviation|deviation)\s*(?:of|=|:)?\s*"
+    r"(\d+(?:\.\d+)?)\s*(?:%|percent)?",
+    re.I,
+)
+
+#: Study-family keywords -> canonical study kind.
+_STUDY_KIND_RES: list[tuple[str, re.Pattern]] = [
+    ("monte_carlo", re.compile(r"monte[\s-]*carlo|\bensemble\b|random\s+draw", re.I)),
+    ("outage", re.compile(r"\bn-?2\b|double\s+outage|outage\s+(pair|combination)", re.I)),
+    ("profile", re.compile(r"daily\s+(load\s+)?profile|load\s+profile|24[\s-]*hour", re.I)),
+    ("sweep", re.compile(
+        r"\bsweep\b|load\s+(range|levels)|from\s+\d+\s*%?\s*to\s+\d+\s*%", re.I)),
+]
+
+#: Analysis-engine keywords -> BatchStudyRunner analysis name.
+_ANALYSIS_RES: list[tuple[str, re.Pattern]] = [
+    ("screening", re.compile(r"contingenc|screening|n-?1\b|critical", re.I)),
+    ("dcopf", re.compile(r"\bdc\s*-?opf\b|\bdc\s+optimal", re.I)),
+    ("acopf", re.compile(r"\bac\s*-?opf\b|acopf|optimal\s+power\s+flow|dispatch|cost", re.I)),
+    ("powerflow", re.compile(r"power\s+flow|voltage|loading", re.I)),
+]
 
 
 def extract_case(text: str) -> str | None:
@@ -99,6 +130,27 @@ def extract_entities(text: str) -> dict:
     if m:
         ents["top_n"] = int(m.group(1))
 
+    for kind, pattern in _STUDY_KIND_RES:
+        if pattern.search(text):
+            ents["study"] = kind
+            break
+    if "study" in ents or re.search(r"\bstud(?:y|ies)\b", text, re.I):
+        # Study-scoped extras: scenario counts, sweep range, sigma, engine.
+        m = _NSCEN_RE.search(text)
+        if m:
+            ents["n_scenarios"] = int(m.group(1))
+        m = _RANGE_RE.search(text)
+        if m:
+            ents["sweep_lo_percent"] = float(m.group(1))
+            ents["sweep_hi_percent"] = float(m.group(2))
+        m = _SIGMA_RE.search(text)
+        if m:
+            ents["sigma_percent"] = float(m.group(1))
+        for analysis, pattern in _ANALYSIS_RES:
+            if pattern.search(text):
+                ents["study_analysis"] = analysis
+                break
+
     lowered = text.lower()
     if re.search(r"\b(increase|raise|add|grow)\b", lowered):
         ents["direction"] = "increase"
@@ -118,6 +170,14 @@ def extract_entities(text: str) -> dict:
 # ----------------------------------------------------------------------
 
 _INTENT_RULES: list[tuple[Intent, re.Pattern]] = [
+    (Intent.RUN_STUDY, re.compile(
+        r"monte[\s-]*carlo|\bensemble\b|load\s+sweep|sweep\b[^.]*\b(load|demand)|"
+        r"\b(load|demand)\b[^.]*\bsweep|scenario\s+(study|sweep|batch)|"
+        r"\bn-?2\b|double\s+outage|outage\s+(pair|combination)s?|"
+        r"daily\s+(load\s+)?profile|24[\s-]*hour\s+(load\s+)?profile|"
+        r"\b(load|what[\s-]?if|batch)\s+stud(y|ies)|"
+        r"\bstud(y|ies)\b[^.]*\b(status|results?|summary)|"
+        r"\b(status|results?|summary)\b[^.]*\bstud(y|ies)\b", re.I)),
     (Intent.ECONOMIC_IMPACT, re.compile(
         r"(economic|cost)\s+(impact|effect|consequence)|"
         r"impact.*\b(cost|objective)|how much (more|less).*cost", re.I)),

@@ -21,6 +21,7 @@ headline result.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field
 
 from .base import ChatMessage, LLMResponse, ToolCallRequest, ToolSpec
@@ -32,6 +33,14 @@ from .tokens import usage_for
 
 #: Marker the agent layer uses when injecting structured context summaries.
 CONTEXT_MARKER = "[context]"
+
+#: Batch-study tools (one per scenario family the study agent exposes).
+STUDY_TOOLS = (
+    "run_load_sweep_study",
+    "run_monte_carlo_study",
+    "run_outage_study",
+    "run_daily_profile_study",
+)
 
 
 @dataclass
@@ -129,11 +138,15 @@ class SimulatedLLM:
     # internals
     # ------------------------------------------------------------------
     def _latency_model(self, tool_names: set[str]) -> LatencyModel:
-        is_ca_task = any(
+        is_deep_task = any(
             t in tool_names
-            for t in ("run_n1_contingency_analysis", "analyze_specific_contingency")
+            for t in (
+                "run_n1_contingency_analysis",
+                "analyze_specific_contingency",
+                *STUDY_TOOLS,
+            )
         )
-        return self.profile.deep_latency if is_ca_task else self.profile.chat_latency
+        return self.profile.deep_latency if is_deep_task else self.profile.chat_latency
 
     def _respond(
         self,
@@ -295,6 +308,66 @@ class SimulatedLLM:
             steps.append(PlannedStep("solve_acopf_case", {"case_name": case}))
             return steps
 
+        if parsed.intent == Intent.RUN_STUDY:
+            # Status/summary questions about an earlier study need no case —
+            # and must not re-run the (expensive) study even when the
+            # question names its kind ("results of the Monte Carlo study?").
+            is_status_question = re.search(
+                r"status|summar|result|how did", parsed.text, re.I
+            ) and not re.search(
+                r"\b(run|execute|perform|launch|start|do|repeat)\b",
+                parsed.text,
+                re.I,
+            )
+            if is_status_question:
+                return [PlannedStep("get_study_status", {})]
+            if case is None:
+                return None
+            kind = ents.get("study", "monte_carlo")
+            analysis = ents.get("study_analysis")
+            if kind == "sweep":
+                args = {
+                    "case_name": case,
+                    "lo_percent": ents.get("sweep_lo_percent", 80.0),
+                    "hi_percent": ents.get("sweep_hi_percent", 120.0),
+                    "steps": ents.get("n_scenarios", 9),
+                    "analysis": analysis or "acopf",
+                }
+                return [PlannedStep("run_load_sweep_study", args)]
+            if kind == "outage":
+                return [
+                    PlannedStep(
+                        "run_outage_study",
+                        {
+                            "case_name": case,
+                            "limit": ents.get("n_scenarios", 50),
+                            "analysis": analysis or "powerflow",
+                        },
+                    )
+                ]
+            if kind == "profile":
+                return [
+                    PlannedStep(
+                        "run_daily_profile_study",
+                        {
+                            "case_name": case,
+                            "steps": ents.get("n_scenarios", 24),
+                            "analysis": analysis or "powerflow",
+                        },
+                    )
+                ]
+            return [
+                PlannedStep(
+                    "run_monte_carlo_study",
+                    {
+                        "case_name": case,
+                        "n_scenarios": ents.get("n_scenarios", 200),
+                        "sigma_percent": ents.get("sigma_percent", 5.0),
+                        "analysis": analysis or "powerflow",
+                    },
+                )
+            ]
+
         if parsed.intent == Intent.HELP:
             return []
 
@@ -317,6 +390,7 @@ class SimulatedLLM:
             Intent.RUN_CONTINGENCY,
             Intent.ANALYZE_OUTAGE,
             Intent.ECONOMIC_IMPACT,
+            Intent.RUN_STUDY,
         ) and case is None:
             return "case"
         if parsed.intent == Intent.MODIFY_LOAD:
@@ -343,6 +417,18 @@ class SimulatedLLM:
             ),
             "analyze_specific_contingency": "Simulating the requested outage.",
             "apply_branch_outage": "Removing the branch from service in the model.",
+            "run_load_sweep_study": (
+                "Expanding the load sweep into scenarios and running the batch."
+            ),
+            "run_monte_carlo_study": (
+                "Drawing the Monte Carlo ensemble and dispatching the batch runner."
+            ),
+            "run_outage_study": (
+                "Enumerating outage combinations and running the batch study."
+            ),
+            "run_daily_profile_study": (
+                "Stepping through the daily load profile with the batch runner."
+            ),
         }
         return notes.get(step.tool, f"Calling {step.tool}.")
 
@@ -357,8 +443,10 @@ class SimulatedLLM:
             return (
                 "I can: solve ACOPF for the IEEE 14/30/57/118/300 cases, modify "
                 "bus loads and re-dispatch, report network status, run full N-1 "
-                "contingency analysis, analyse specific outages, and rank "
-                "critical elements with reinforcement recommendations."
+                "contingency analysis, analyse specific outages, rank critical "
+                "elements with reinforcement recommendations, and run batch "
+                "scenario studies (load sweeps, Monte Carlo ensembles, N-2 "
+                "outage combinations, daily load profiles)."
             )
 
         if parsed.intent == Intent.ECONOMIC_IMPACT:
@@ -398,6 +486,15 @@ class SimulatedLLM:
             "assess_solution_quality" in by_tool
         ):
             return narration.narrate_quality(by_tool["assess_solution_quality"], verb)
+
+        if parsed.intent == Intent.RUN_STUDY:
+            for tool in STUDY_TOOLS:
+                if tool in by_tool:
+                    return narration.narrate_study(by_tool[tool], verb)
+            if "get_study_status" in by_tool:
+                return narration.narrate_study(
+                    by_tool["get_study_status"].get("study") or {}, verb
+                )
 
         if parsed.intent == Intent.NETWORK_STATUS:
             payload = by_tool.get("get_network_status") or by_tool.get(

@@ -1,0 +1,75 @@
+"""Scenario engine: declarative operating-point studies at ensemble scale.
+
+The study workflow the paper motivates ("adjust load levels, re-solve,
+inspect impacts") made batch-first:
+
+* :mod:`repro.scenarios.spec` — perturbation records and :class:`Scenario`,
+* :mod:`repro.scenarios.generators` — families (sweep, Monte Carlo, N-2
+  combinations, daily profile) expanded from compact descriptions,
+* :mod:`repro.scenarios.runner` — :class:`BatchStudyRunner` with
+  process-pool parallelism and per-worker cache reuse,
+* :mod:`repro.scenarios.aggregate` — ensemble statistics (violation
+  frequencies, cost percentiles, critical-ranking stability).
+
+Quickstart::
+
+    from repro import load_case
+    from repro.scenarios import BatchStudyRunner, monte_carlo_ensemble
+
+    study = BatchStudyRunner(analysis="powerflow", n_jobs=4).run(
+        load_case("ieee118"), monte_carlo_ensemble(n=200, sigma=0.05, seed=1)
+    )
+    print(study.aggregate().to_dict())
+"""
+
+from .aggregate import StudyAggregate, aggregate_study, percentile_stats
+from .generators import (
+    daily_profile,
+    load_sweep,
+    monte_carlo_ensemble,
+    outage_combinations,
+    with_branch_outage,
+)
+from .runner import (
+    ANALYSES,
+    BatchStudyRunner,
+    ScenarioResult,
+    StudyConfig,
+    StudyResult,
+)
+from .spec import (
+    BranchOutage,
+    GaussianLoadNoise,
+    GeneratorOutage,
+    PerBusLoadScale,
+    Perturbation,
+    RenewableInjection,
+    Scenario,
+    ScenarioError,
+    UniformLoadScale,
+)
+
+__all__ = [
+    "ANALYSES",
+    "BatchStudyRunner",
+    "BranchOutage",
+    "GaussianLoadNoise",
+    "GeneratorOutage",
+    "PerBusLoadScale",
+    "Perturbation",
+    "RenewableInjection",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioResult",
+    "StudyAggregate",
+    "StudyConfig",
+    "StudyResult",
+    "UniformLoadScale",
+    "aggregate_study",
+    "daily_profile",
+    "load_sweep",
+    "monte_carlo_ensemble",
+    "outage_combinations",
+    "percentile_stats",
+    "with_branch_outage",
+]

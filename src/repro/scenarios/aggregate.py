@@ -1,0 +1,132 @@
+"""Ensemble aggregation: turn per-scenario results into study-level facts.
+
+The batch runner produces one lightweight :class:`ScenarioResult` per
+operating point; this module reduces the ensemble to the quantities a
+study actually asks for — how often limits are violated, how the cost and
+loading distributions look, and how stable the critical-contingency
+ranking is across the perturbed operating points.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+def percentile_stats(values: list[float]) -> dict | None:
+    """mean / p5 / p50 / p95 / min / max over ``values`` (None when empty)."""
+    import numpy as np
+
+    if not values:
+        return None
+    arr = np.asarray(values, dtype=float)
+    return {
+        "mean": float(arr.mean()),
+        "p05": float(np.percentile(arr, 5)),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }
+
+
+@dataclass
+class StudyAggregate:
+    """Cross-scenario summary of one batch study."""
+
+    n_scenarios: int
+    n_converged: int
+    n_errors: int
+    overload_rate: float  # fraction of converged scenarios with any overload
+    voltage_violation_rate: float
+    violation_rate: float  # either kind
+    branch_overload_freq: dict[int, float] = field(default_factory=dict)
+    cost_stats: dict | None = None
+    loading_stats: dict | None = None
+    min_voltage_stats: dict | None = None
+    rank_stability: dict[int, float] = field(default_factory=dict)
+    stable_critical: list[int] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        out = {
+            "n_scenarios": self.n_scenarios,
+            "n_converged": self.n_converged,
+            "n_errors": self.n_errors,
+            "overload_rate": round(self.overload_rate, 4),
+            "voltage_violation_rate": round(self.voltage_violation_rate, 4),
+            "violation_rate": round(self.violation_rate, 4),
+            "branch_overload_freq": {
+                str(b): round(f, 4) for b, f in self.branch_overload_freq.items()
+            },
+            "cost_stats": self.cost_stats,
+            "loading_stats": self.loading_stats,
+            "min_voltage_stats": self.min_voltage_stats,
+        }
+        if self.rank_stability:
+            out["rank_stability"] = {
+                str(b): round(f, 4) for b, f in self.rank_stability.items()
+            }
+            out["stable_critical"] = list(self.stable_critical)
+        return out
+
+
+def aggregate_study(results: list) -> StudyAggregate:
+    """Reduce a list of :class:`~repro.scenarios.runner.ScenarioResult`.
+
+    Rates are over *converged* scenarios (a diverged power flow says
+    nothing about limit violations); convergence itself is reported
+    separately as ``n_converged`` / ``n_errors``.
+    """
+    n = len(results)
+    converged = [r for r in results if r.converged]
+    nc = len(converged)
+
+    overloaded = [r for r in converged if r.overloaded_branches]
+    volts = [r for r in converged if r.n_voltage_violations > 0]
+    either = [
+        r for r in converged if r.overloaded_branches or r.n_voltage_violations > 0
+    ]
+
+    branch_hits: Counter[int] = Counter()
+    for r in converged:
+        for bid in set(r.overloaded_branches):
+            branch_hits[bid] += 1
+    branch_freq = {
+        int(b): cnt / nc for b, cnt in sorted(branch_hits.items(), key=lambda kv: -kv[1])
+    }
+
+    costs = [r.objective_cost for r in converged if r.objective_cost is not None]
+    loadings = [r.max_loading_percent for r in converged]
+    min_vs = [r.min_voltage_pu for r in converged if r.min_voltage_pu is not None]
+
+    # Critical-contingency rank stability: how often each branch shows up
+    # in a scenario's critical list across the ensemble.
+    listed = [r for r in converged if r.critical_branches is not None]
+    crit_hits: Counter[int] = Counter()
+    for r in listed:
+        for bid in set(r.critical_branches):
+            crit_hits[bid] += 1
+    stability = (
+        {
+            int(b): cnt / len(listed)
+            for b, cnt in sorted(crit_hits.items(), key=lambda kv: (-kv[1], kv[0]))
+        }
+        if listed
+        else {}
+    )
+    stable = [b for b, f in stability.items() if f >= 0.5]
+
+    return StudyAggregate(
+        n_scenarios=n,
+        n_converged=nc,
+        n_errors=sum(1 for r in results if r.error),
+        overload_rate=len(overloaded) / nc if nc else 0.0,
+        voltage_violation_rate=len(volts) / nc if nc else 0.0,
+        violation_rate=len(either) / nc if nc else 0.0,
+        branch_overload_freq=branch_freq,
+        cost_stats=percentile_stats(costs),
+        loading_stats=percentile_stats(loadings),
+        min_voltage_stats=percentile_stats(min_vs),
+        rank_stability=stability,
+        stable_critical=stable,
+    )

@@ -1,0 +1,419 @@
+"""BatchStudyRunner: execute a scenario list against one analysis engine.
+
+Each scenario realises a fresh network copy and runs one of four
+analyses: AC power flow, DCOPF, ACOPF, or two-stage contingency
+screening.  Scenarios are independent, so the runner fans chunks out over
+a ``concurrent.futures`` process pool; every worker is initialised once
+with the pickled base network and then amortises the expensive shared
+state across all scenarios it processes:
+
+* the PTDF/LODF sensitivity factors, keyed by an electrical-topology
+  digest (load-only perturbations reuse one factorisation for the whole
+  ensemble), and
+* the composite-key contingency cache, so identical (content, outage)
+  evaluations are never repeated within a worker.
+
+Results are plain-data :class:`ScenarioResult` records — cheap to pickle
+back — and the chunked dispatch preserves scenario order, so serial and
+parallel runs aggregate identically (a property the test suite asserts).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..contingency.cache import ContingencyCache
+from ..contingency.lodf import SensitivityFactors, compute_factors
+from ..contingency.nminus1 import NMinus1Report, analyze_single_outage
+from ..contingency.ranking import rank_critical_elements
+from ..contingency.screening import screen_dc
+from ..grid import graph as gridgraph
+from ..grid.network import Network
+from .aggregate import StudyAggregate, aggregate_study
+from .spec import Scenario, ScenarioError
+
+ANALYSES = ("powerflow", "dcopf", "acopf", "screening")
+
+
+@dataclass
+class ScenarioResult:
+    """Per-scenario outcome, reduced to picklable plain data."""
+
+    name: str
+    tags: dict
+    converged: bool
+    objective_cost: float | None = None
+    max_loading_percent: float = 0.0
+    min_voltage_pu: float | None = None
+    max_voltage_pu: float | None = None
+    losses_mw: float | None = None
+    overloaded_branches: list[int] = field(default_factory=list)
+    n_voltage_violations: int = 0
+    critical_branches: list[int] | None = None
+    n_contingency_violations: int | None = None
+    solve_time_s: float = 0.0
+    error: str = ""
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "converged": self.converged,
+            "max_loading_percent": round(self.max_loading_percent, 2),
+        }
+        if self.objective_cost is not None:
+            out["objective_cost"] = round(self.objective_cost, 2)
+        if self.min_voltage_pu is not None:
+            out["min_voltage_pu"] = round(self.min_voltage_pu, 4)
+        if self.overloaded_branches:
+            out["overloaded_branches"] = list(self.overloaded_branches)
+        if self.critical_branches is not None:
+            out["critical_branches"] = list(self.critical_branches)
+        if self.n_contingency_violations is not None:
+            out["n_contingency_violations"] = self.n_contingency_violations
+        if self.error:
+            out["error"] = self.error
+        return out
+
+
+@dataclass
+class StudyResult:
+    """Everything one batch study produced."""
+
+    case_name: str
+    analysis: str
+    results: list[ScenarioResult]
+    runtime_s: float
+    n_jobs: int = 1
+    _aggregate: StudyAggregate | None = field(default=None, repr=False)
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.results)
+
+    def aggregate(self) -> StudyAggregate:
+        if self._aggregate is None:
+            self._aggregate = aggregate_study(self.results)
+        return self._aggregate
+
+    def worst(self, n: int = 5) -> list[ScenarioResult]:
+        """Most stressed scenarios first (by post-analysis peak loading)."""
+        return sorted(self.results, key=lambda r: -r.max_loading_percent)[:n]
+
+    def to_dict(self, max_scenarios: int = 20) -> dict:
+        """JSON-ready study summary (what the agent tools return)."""
+        return {
+            "case_name": self.case_name,
+            "analysis": self.analysis,
+            "n_scenarios": self.n_scenarios,
+            "n_jobs": self.n_jobs,
+            "runtime_s": round(self.runtime_s, 3),
+            "aggregate": self.aggregate().to_dict(),
+            "worst_scenarios": [r.to_dict() for r in self.worst(max_scenarios)],
+        }
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Per-study analysis knobs, shipped once to each worker."""
+
+    analysis: str = "powerflow"
+    overload_threshold: float = 100.0
+    vmin: float = 0.94
+    vmax: float = 1.06
+    ac_budget: int = 20
+    top_n: int = 5
+
+
+class _WorkerState:
+    """One worker's long-lived state: base network plus reusable caches."""
+
+    #: Entry cap for the per-worker contingency cache.  Load-perturbation
+    #: ensembles give every scenario a distinct content hash, so the cache
+    #: would otherwise grow without bound while never hitting; past the
+    #: cap it is simply dropped (reuse is an optimisation, not state).
+    CA_CACHE_MAX_ENTRIES = 20_000
+
+    def __init__(self, base: Network, config: StudyConfig) -> None:
+        self.base = base
+        self.config = config
+        self.factors_cache: dict[bytes, SensitivityFactors] = {}
+        self.ca_cache = ContingencyCache()
+
+    # ------------------------------------------------------------------
+    def factors_for(self, net: Network) -> SensitivityFactors:
+        """PTDF/LODF factors, cached on the electrical-topology digest.
+
+        The digest covers everything the DC factors depend on (incidence,
+        impedances, taps, shifts, bus types) but *not* loads — so a
+        load-perturbation ensemble computes one factorisation total.
+        """
+        arr = net.compile()
+        key = hashlib.blake2b(
+            b"".join(
+                (
+                    arr.branch_ids.tobytes(),
+                    arr.f_bus.tobytes(),
+                    arr.t_bus.tobytes(),
+                    arr.r.tobytes(),
+                    arr.x.tobytes(),
+                    arr.tap.tobytes(),
+                    arr.shift.tobytes(),
+                    arr.bus_type.tobytes(),
+                )
+            ),
+            digest_size=16,
+        ).digest()
+        factors = self.factors_cache.get(key)
+        if factors is None:
+            factors = compute_factors(net)
+            self.factors_cache[key] = factors
+        return factors
+
+    # ------------------------------------------------------------------
+    def run_scenario(self, scenario: Scenario) -> ScenarioResult:
+        tick = time.perf_counter()
+        try:
+            net = scenario.realize(self.base)
+            if not gridgraph.is_connected(net):
+                # Outage combinations can island the system (N-2 over a
+                # bridge); no solver can run, but the study must record
+                # the scenario rather than die on a singular matrix.
+                result = ScenarioResult(
+                    name=scenario.name, tags=dict(scenario.tags),
+                    converged=False,
+                    error=(
+                        "scenario islands the network "
+                        f"({gridgraph.stranded_load_mw(net, frozenset()):.1f} MW stranded)"
+                    ),
+                )
+            else:
+                runner = getattr(self, f"_run_{self.config.analysis}")
+                result = runner(net, scenario)
+        except ScenarioError as exc:
+            result = ScenarioResult(
+                name=scenario.name, tags=dict(scenario.tags),
+                converged=False, error=str(exc),
+            )
+        except Exception as exc:  # solver edge cases must not kill the batch
+            result = ScenarioResult(
+                name=scenario.name, tags=dict(scenario.tags),
+                converged=False,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        result.solve_time_s = time.perf_counter() - tick
+        return result
+
+    # ------------------------------------------------------------------
+    def _solve_pf(self, net: Network):
+        from ..powerflow.newton import solve_newton
+        from ..powerflow.recovery import solve_with_recovery
+
+        res = solve_newton(net)
+        if not res.converged:
+            res, _trace = solve_with_recovery(net)
+        return res
+
+    def _run_powerflow(self, net: Network, scenario: Scenario) -> ScenarioResult:
+        cfg = self.config
+        res = self._solve_pf(net)
+        if not res.converged:
+            return ScenarioResult(
+                name=scenario.name, tags=dict(scenario.tags),
+                converged=False, error=res.message or "power flow diverged",
+            )
+        overloads = res.overloaded_branches(cfg.overload_threshold)
+        violations = res.voltage_violations(cfg.vmin, cfg.vmax)
+        return ScenarioResult(
+            name=scenario.name,
+            tags=dict(scenario.tags),
+            converged=True,
+            max_loading_percent=res.max_loading_percent,
+            min_voltage_pu=res.min_voltage_pu,
+            max_voltage_pu=res.max_voltage_pu,
+            losses_mw=res.losses_mw,
+            overloaded_branches=[b for b, _pct in overloads],
+            n_voltage_violations=len(violations),
+        )
+
+    def _run_opf(self, net: Network, scenario: Scenario, solve) -> ScenarioResult:
+        cfg = self.config
+        res = solve(net)
+        if not res.converged:
+            return ScenarioResult(
+                name=scenario.name, tags=dict(scenario.tags),
+                converged=False, error=res.message or "OPF did not converge",
+            )
+        over_rows = np.flatnonzero(res.loading_percent > cfg.overload_threshold)
+        n_volt = int(
+            np.count_nonzero((res.vm < cfg.vmin) | (res.vm > cfg.vmax))
+        )
+        return ScenarioResult(
+            name=scenario.name,
+            tags=dict(scenario.tags),
+            converged=True,
+            objective_cost=float(res.objective_cost),
+            max_loading_percent=res.max_loading_percent,
+            min_voltage_pu=res.min_voltage_pu,
+            max_voltage_pu=res.max_voltage_pu,
+            losses_mw=float(res.losses_mw),
+            overloaded_branches=[int(res.branch_ids[r]) for r in over_rows],
+            n_voltage_violations=n_volt,
+        )
+
+    def _run_dcopf(self, net: Network, scenario: Scenario) -> ScenarioResult:
+        from ..opf.dcopf import solve_dcopf
+
+        return self._run_opf(net, scenario, solve_dcopf)
+
+    def _run_acopf(self, net: Network, scenario: Scenario) -> ScenarioResult:
+        from ..opf.acopf import solve_acopf
+
+        return self._run_opf(net, scenario, solve_acopf)
+
+    def _run_screening(self, net: Network, scenario: Scenario) -> ScenarioResult:
+        cfg = self.config
+        base = self._solve_pf(net)
+        if not base.converged:
+            return ScenarioResult(
+                name=scenario.name, tags=dict(scenario.tags),
+                converged=False,
+                error=base.message or "base power flow diverged",
+            )
+
+        factors = self.factors_for(net)
+        estimate = screen_dc(net, factors=factors)
+        candidates = sorted(
+            set(estimate.top(cfg.ac_budget))
+            | set(int(b) for b in estimate.islanding)
+        )
+
+        # One content hash for the whole sweep (lookup + put), then AC
+        # verification only for the outages this worker has not seen.
+        cached, missing = self.ca_cache.lookup_sweep(net, candidates)
+        bridges = gridgraph.bridge_branches(net) if missing else set()
+        v_base = base.extras.get("v_complex")
+        fresh = [
+            analyze_single_outage(
+                net,
+                bid,
+                bridges=bridges,
+                v_base=v_base,
+                vmin=cfg.vmin,
+                vmax=cfg.vmax,
+                overload_threshold=cfg.overload_threshold,
+            )
+            for bid in missing
+        ]
+        if fresh:
+            if self.ca_cache.size >= self.CA_CACHE_MAX_ENTRIES:
+                self.ca_cache.clear()
+            self.ca_cache.put_many(net, fresh)
+        outcomes = sorted([*cached.values(), *fresh], key=lambda o: o.branch_id)
+
+        report = NMinus1Report(
+            case_name=net.name, base=base, outcomes=outcomes,
+            runtime_s=0.0, vmin=cfg.vmin, vmax=cfg.vmax,
+        )
+        ranked = rank_critical_elements(report, top_n=cfg.top_n)
+
+        post_overloads = sorted(
+            {int(b) for o in outcomes if o.converged for b, _pct in o.overloads}
+        )
+        return ScenarioResult(
+            name=scenario.name,
+            tags=dict(scenario.tags),
+            converged=True,
+            max_loading_percent=report.max_overload_percent,
+            min_voltage_pu=base.min_voltage_pu,
+            max_voltage_pu=base.max_voltage_pu,
+            losses_mw=base.losses_mw,
+            overloaded_branches=post_overloads,
+            n_voltage_violations=len(base.voltage_violations(cfg.vmin, cfg.vmax)),
+            critical_branches=ranked.critical_branch_ids,
+            n_contingency_violations=report.n_violations,
+        )
+
+
+# ----------------------------------------------------------------------
+# process-pool plumbing: one _WorkerState per worker, chunked dispatch
+# ----------------------------------------------------------------------
+
+_WORKER: _WorkerState | None = None
+
+
+def _init_worker(base: Network, config: StudyConfig) -> None:
+    global _WORKER
+    _WORKER = _WorkerState(base, config)
+
+
+def _run_chunk(scenarios: list[Scenario]) -> list[ScenarioResult]:
+    assert _WORKER is not None, "worker used before initialisation"
+    return [_WORKER.run_scenario(s) for s in scenarios]
+
+
+@dataclass
+class BatchStudyRunner:
+    """Execute scenario lists with optional process-pool parallelism.
+
+    ``n_jobs <= 1`` runs in-process through the exact same worker-state
+    code path, so parallel and serial studies produce identical results.
+    ``chunk_size`` controls dispatch granularity (default: ~4 chunks per
+    worker, balancing load against per-chunk pickling overhead).
+    """
+
+    analysis: str = "powerflow"
+    n_jobs: int = 1
+    chunk_size: int | None = None
+    overload_threshold: float = 100.0
+    vmin: float = 0.94
+    vmax: float = 1.06
+    ac_budget: int = 20
+    top_n: int = 5
+
+    def _config(self) -> StudyConfig:
+        if self.analysis not in ANALYSES:
+            raise ValueError(
+                f"unknown analysis {self.analysis!r}; use one of {ANALYSES}"
+            )
+        return StudyConfig(
+            analysis=self.analysis,
+            overload_threshold=self.overload_threshold,
+            vmin=self.vmin,
+            vmax=self.vmax,
+            ac_budget=self.ac_budget,
+            top_n=self.top_n,
+        )
+
+    def run(self, base: Network, scenarios: list[Scenario]) -> StudyResult:
+        config = self._config()
+        start = time.perf_counter()
+
+        if self.n_jobs <= 1 or len(scenarios) < 2:
+            state = _WorkerState(base.copy(), config)
+            results = [state.run_scenario(s) for s in scenarios]
+            jobs = 1
+        else:
+            jobs = min(self.n_jobs, len(scenarios))
+            chunk = self.chunk_size or max(1, math.ceil(len(scenarios) / (jobs * 4)))
+            chunks = [
+                scenarios[i : i + chunk] for i in range(0, len(scenarios), chunk)
+            ]
+            with ProcessPoolExecutor(
+                max_workers=jobs, initializer=_init_worker, initargs=(base, config)
+            ) as pool:
+                futures = [pool.submit(_run_chunk, c) for c in chunks]
+                results = [r for f in futures for r in f.result()]
+
+        return StudyResult(
+            case_name=base.name,
+            analysis=self.analysis,
+            results=results,
+            runtime_s=time.perf_counter() - start,
+            n_jobs=jobs,
+        )

@@ -107,3 +107,65 @@ def test_synthetic_ratings_are_set(case118):
 def test_snapshot_load_matches_table2_loads(case118):
     # Calibration shaves loads but keeps them realistic for the scale.
     assert 2000.0 < case118.total_load_mw() < 6000.0
+
+
+@pytest.mark.parametrize(
+    "spelling",
+    [
+        "IEEE-118", "Case 118", "the 118-bus system", "ieee_118",
+        "IEEE 118 bus network", "118 bus", "case_118",
+    ],
+)
+def test_canonical_case_name_more_spellings(spelling):
+    """Conversational variants all resolve to the registry key."""
+    assert canonical_case_name(spelling) == "ieee118"
+
+
+@pytest.mark.parametrize("name", list(TABLE2_COUNTS))
+def test_canonical_case_name_identity(name):
+    assert canonical_case_name(name) == name
+
+
+def test_canonical_case_name_number_without_registry_match():
+    """Numbers that parse but match no registered case return None."""
+    assert canonical_case_name("ieee 42") is None
+    assert canonical_case_name("9999-bus") is None
+
+
+class TestFreshCopyIsolation:
+    """Mutations through any API must never leak into the next load_case."""
+
+    def test_load_mutation_does_not_leak(self):
+        a = load_case("ieee14")
+        baseline = a.total_load_mw()
+        a.scale_loads(3.0)
+        assert load_case("ieee14").total_load_mw() == pytest.approx(baseline)
+
+    def test_topology_mutation_does_not_leak(self):
+        a = load_case("ieee14")
+        a.set_branch_status(0, False)
+        a.gens[0].in_service = False
+        b = load_case("ieee14")
+        assert b.branches[0].in_service
+        assert b.gens[0].in_service
+
+    def test_added_components_do_not_leak(self):
+        a = load_case("ieee14")
+        n_loads = a.n_load
+        a.add_load(2, pd_mw=10.0)
+        assert load_case("ieee14").n_load == n_loads
+
+    def test_alias_loads_are_independent(self):
+        a = load_case("IEEE 14")
+        b = load_case("case14")
+        a.set_load(1, 777.0)
+        assert sum(ld.pd_mw for ld in b.loads_at_bus(1)) != 777.0
+
+    def test_scenario_realization_does_not_leak(self):
+        from repro.scenarios import Scenario, UniformLoadScale
+
+        a = load_case("ieee14")
+        Scenario("s", (UniformLoadScale(2.0),)).realize(a)
+        assert load_case("ieee14").total_load_mw() == pytest.approx(
+            a.total_load_mw()
+        )

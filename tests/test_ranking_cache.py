@@ -135,3 +135,65 @@ class TestCache:
         cache.clear()
         assert cache.size == 0
         assert cache.hits == 0
+
+
+class TestContentHashMemo:
+    """The digest is memoised behind the network's mutation counter."""
+
+    def test_memo_skips_reserialization(self, case30, monkeypatch):
+        import repro.contingency.cache as cache_mod
+
+        calls = {"n": 0}
+        real = cache_mod.to_matpower
+
+        def counting(net):
+            calls["n"] += 1
+            return real(net)
+
+        monkeypatch.setattr(cache_mod, "to_matpower", counting)
+        first = network_content_hash(case30)
+        for _ in range(5):
+            assert network_content_hash(case30) == first
+        assert calls["n"] == 1
+
+    def test_memo_invalidated_by_touch(self, case30, monkeypatch):
+        import repro.contingency.cache as cache_mod
+
+        calls = {"n": 0}
+        real = cache_mod.to_matpower
+
+        def counting(net):
+            calls["n"] += 1
+            return real(net)
+
+        monkeypatch.setattr(cache_mod, "to_matpower", counting)
+        before = network_content_hash(case30)
+        case30.set_load(3, 55.0)
+        after = network_content_hash(case30)
+        assert calls["n"] == 2
+        assert before != after
+
+    def test_memo_not_shared_across_copies(self, case30):
+        a = network_content_hash(case30)
+        clone = case30.copy()
+        assert network_content_hash(clone) == a
+        clone.set_load(3, 77.0)
+        assert network_content_hash(clone) != a
+        # The original's memo still matches its unchanged content.
+        assert network_content_hash(case30) == a
+
+    def test_sweep_lookup_single_hash(self, case30, monkeypatch):
+        import repro.contingency.cache as cache_mod
+
+        calls = {"n": 0}
+        real = cache_mod.to_matpower
+
+        def counting(net):
+            calls["n"] += 1
+            return real(net)
+
+        monkeypatch.setattr(cache_mod, "to_matpower", counting)
+        cache = ContingencyCache()
+        cache.lookup_sweep(case30, list(range(20)))
+        cache.lookup_sweep(case30, list(range(20)))
+        assert calls["n"] == 1
