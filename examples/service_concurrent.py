@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""The service layer: concurrent sessions, shared compute, stored studies.
+
+``GridMindSession`` is one conversation; ``GridMindService`` is the
+front door for many of them.  This example drives two sessions
+concurrently through the asyncio façade (their turns interleave, their
+answers do not change), routes both of their batch studies through the
+one shared worker pool, and then has a *third, brand-new* session answer
+"compare the last two studies" purely from the persistent result store —
+the cross-session memory a single session cannot provide.
+
+Run:  PYTHONPATH=src python examples/service_concurrent.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+
+from repro.service import GridMindService, StudyRequest
+
+
+async def interleaved_conversations(service: GridMindService) -> None:
+    print("=" * 70)
+    print("Two sessions, turns interleaved (replies are order-independent)")
+    print("=" * 70)
+    rounds = [
+        ("alice", "Solve the IEEE 14 bus case"),
+        ("bob", "Solve the IEEE 30 bus case"),
+        ("alice", "Increase the load at bus 9 by 10 MW"),
+        ("bob", "what's the network status?"),
+    ]
+    # Schedule everything up front: different sessions run concurrently,
+    # turns within one session stay serialised behind its lock.
+    tasks = [(sid, asyncio.create_task(service.ask(sid, text))) for sid, text in rounds]
+    for sid, task in tasks:
+        reply = await task
+        print(f"[{sid}] {reply.text.splitlines()[0]}")
+
+
+async def shared_pool_studies(service: GridMindService) -> None:
+    print()
+    print("=" * 70)
+    print("Two studies back-to-back on the shared executor (one pool)")
+    print("=" * 70)
+    yesterday = await service.run_study(
+        StudyRequest(
+            case_name="ieee14", kind="sweep", n_scenarios=5,
+            lo_percent=95, hi_percent=105, analysis="dcopf", label="yesterday",
+        )
+    )
+    today = await service.run_study(
+        StudyRequest(
+            case_name="ieee14", kind="sweep", n_scenarios=5,
+            lo_percent=80, hi_percent=125, analysis="dcopf", label="today",
+        )
+    )
+    for reply in (yesterday, today):
+        print(
+            f"{reply.summary.get('study_kind')} '{reply.study_key}': "
+            f"{reply.n_scenarios} scenarios in {reply.runtime_s:.2f}s "
+            f"on {reply.n_jobs} shared worker(s)"
+        )
+    stats = service.executor.stats()
+    print(
+        f"executor after both studies: pools_started={stats['pools_started']} "
+        f"(shared), n_chunks={stats['n_chunks']}"
+    )
+
+
+async def cross_session_comparison(service: GridMindService) -> None:
+    print()
+    print("=" * 70)
+    print("A brand-new session compares them from the result store")
+    print("=" * 70)
+    reply = await service.ask("fresh-analyst", "compare the last two studies")
+    print(f"[fresh-analyst] {reply.text}")
+
+
+async def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="gridmind-studies-") as store_dir:
+        async with GridMindService(
+            model="gpt-5-mini", seed=7, max_workers=2, store_dir=store_dir
+        ) as service:
+            await interleaved_conversations(service)
+            await shared_pool_studies(service)
+            await cross_session_comparison(service)
+            metrics = service.metrics()
+            print(
+                f"\nservice totals: {metrics['n_sessions']} sessions, "
+                f"{metrics['n_stored_studies']} stored studies, "
+                f"executor {metrics['executor']}"
+            )
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

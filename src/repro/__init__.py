@@ -9,7 +9,9 @@ Public API layers (see DESIGN.md for the full inventory):
 * :mod:`repro.scenarios` — declarative operating-point studies with a
   parallel batch runner,
 * :mod:`repro.llm` — simulated LLM backend with paper model profiles,
-* :mod:`repro.core` — agents, tools, shared context, conversational session.
+* :mod:`repro.core` — agents, tools, shared context, conversational session,
+* :mod:`repro.service` — async multi-session service with a shared study
+  worker pool and a persistent cross-session result store.
 
 Quickstart::
 
@@ -30,7 +32,11 @@ def __getattr__(name: str):
         from .core.session import GridMindSession
 
         return GridMindSession
+    if name == "GridMindService":
+        from .service import GridMindService
+
+        return GridMindService
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 
-__all__ = ["GridMindSession", "load_case", "__version__"]
+__all__ = ["GridMindService", "GridMindSession", "load_case", "__version__"]

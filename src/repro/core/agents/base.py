@@ -64,7 +64,7 @@ class Agent:
         turn: list[ChatMessage] = [user_msg]
         usage = TokenUsage()
         latency = 0.0
-        tool_log_start = len(self.registry.log)
+        tool_log_start = self.registry.call_count
         steps = 0
         final_text = ""
 
@@ -111,7 +111,7 @@ class Agent:
             steps=steps,
             usage=usage,
             latency_s=latency,
-            tool_calls=self.registry.log[tool_log_start:],
+            tool_calls=self.registry.entries_since(tool_log_start),
         )
 
     # ------------------------------------------------------------------

@@ -8,6 +8,19 @@ compact description into scenarios via :mod:`repro.scenarios.generators`,
 executes them with the :class:`~repro.scenarios.runner.BatchStudyRunner`
 (process-parallel when asked), and deposits the aggregated summary into
 the shared context for follow-up questions and narration.
+
+Service-layer wiring (both optional, both duck-typed so this module
+never imports :mod:`repro.service`):
+
+* ``executor`` — a shared :class:`~repro.service.executor.StudyExecutor`;
+  when present every study runs on the long-lived shared pool instead of
+  a per-run one,
+* ``store`` — a :class:`~repro.service.store.ResultStore`; when present
+  every study's full result set is persisted under its content-hash key
+  and two extra tools appear: ``compare_studies`` (diff two stored
+  studies, defaulting to the most recent pair) and
+  ``list_stored_studies`` — so any session, including a fresh one, can
+  answer "compare today's sweep with yesterday's".
 """
 
 from __future__ import annotations
@@ -66,6 +79,17 @@ class OutageStudyArgs(BaseModel):
     n_jobs: int = Field(default=1, ge=1, le=64)
 
 
+class CompareStudiesArgs(BaseModel):
+    study_a: str = Field(
+        default="",
+        description="key/label of the earlier study (default: second-newest stored)",
+    )
+    study_b: str = Field(
+        default="",
+        description="key/label of the later study (default: newest stored)",
+    )
+
+
 class ProfileStudyArgs(BaseModel):
     case_name: str = Field(description="IEEE case identifier, e.g. 'ieee118'")
     steps: int = Field(default=24, ge=1, le=288)
@@ -82,18 +106,33 @@ def _check_analysis(analysis: str) -> None:
         )
 
 
-def build_study_registry(context: AgentContext) -> ToolRegistry:
-    """Register the study agent's function tools over the shared context."""
+def build_study_registry(
+    context: AgentContext, *, executor=None, store=None
+) -> ToolRegistry:
+    """Register the study agent's function tools over the shared context.
+
+    ``executor``/``store`` are the optional service-layer collaborators
+    (shared study pool, persistent result store) described in the module
+    docstring; with ``store`` unset the comparison tools report that no
+    store is configured instead of disappearing, so tool discovery stays
+    stable across deployments.
+    """
     registry = ToolRegistry()
+    if store is None:
+        store = context.result_store
 
     def _execute(case_name: str, scenarios, analysis: str, n_jobs: int, kind: str) -> dict:
         _check_analysis(analysis)
         t0 = time.perf_counter()
         net = context.activate_case(case_name)
-        runner = BatchStudyRunner(analysis=analysis, n_jobs=n_jobs)
+        runner = BatchStudyRunner(analysis=analysis, n_jobs=n_jobs, executor=executor)
         study = runner.run(net, scenarios)
         payload = study.to_dict(max_scenarios=5)
         payload["study_kind"] = kind
+        if store is not None:
+            payload["study_key"] = store.put(
+                net, runner.config(), scenarios, study, study_kind=kind
+            )
         context.study_summary = payload
         context.record_provenance(
             f"run_{kind}_study",
@@ -104,6 +143,15 @@ def build_study_registry(context: AgentContext) -> ToolRegistry:
             n_jobs=study.n_jobs,
         )
         return payload
+
+    def _require_store():
+        if store is None:
+            raise ToolError(
+                "no result store is configured for this session; start it "
+                "through GridMindService (or pass result_store=) to persist "
+                "and compare studies"
+            )
+        return store
 
     def run_load_sweep_study(
         case_name: str,
@@ -165,13 +213,42 @@ def build_study_registry(context: AgentContext) -> ToolRegistry:
         return _execute(case_name, scenarios, analysis, n_jobs, "daily_profile")
 
     def get_study_status() -> dict:
-        if context.study_summary is None:
+        summary = context.latest_study_summary()
+        if summary is None:
             return {
                 "case_name": context.case_name or None,
                 "study": None,
                 "message": "no study has been run in this session",
             }
-        return {"case_name": context.case_name, "study": context.study_summary}
+        return {
+            "case_name": context.case_name or summary.get("case_name"),
+            "study": summary,
+        }
+
+    def compare_studies(study_a: str = "", study_b: str = "") -> dict:
+        t0 = time.perf_counter()
+        resolved = _require_store()
+        try:
+            payload = resolved.compare(study_a or None, study_b or None)
+        except KeyError as exc:
+            raise ToolError(exc.args[0] if exc.args else str(exc)) from exc
+        context.record_provenance(
+            "compare_studies",
+            ok=True,
+            duration_s=time.perf_counter() - t0,
+            study_a=payload["a"].get("key"),
+            study_b=payload["b"].get("key"),
+        )
+        return payload
+
+    def list_stored_studies() -> dict:
+        resolved = _require_store()
+        entries = resolved.list_studies()
+        return {
+            "n_studies": len(entries),
+            # Newest first: the likelier comparison targets lead.
+            "studies": [m.to_dict() for m in reversed(entries[-10:])],
+        }
 
     registry.register(
         "run_load_sweep_study",
@@ -199,18 +276,32 @@ def build_study_registry(context: AgentContext) -> ToolRegistry:
     )
     registry.register(
         "get_study_status",
-        "Summarise the most recent batch study in this session.",
+        "Summarise the most recent batch study (this session or the store).",
         get_study_status,
+    )
+    registry.register(
+        "compare_studies",
+        "Diff two persisted studies' ensemble aggregates (default: the "
+        "two most recent in the result store).",
+        compare_studies,
+        CompareStudiesArgs,
+    )
+    registry.register(
+        "list_stored_studies",
+        "List studies persisted in the cross-session result store.",
+        list_stored_studies,
     )
     return registry
 
 
-def make_study_agent(backend: LLMBackend, context: AgentContext) -> Agent:
+def make_study_agent(
+    backend: LLMBackend, context: AgentContext, *, executor=None, store=None
+) -> Agent:
     """Assemble the study agent over a backend and shared context."""
     return Agent(
         name="study",
         system_prompt=STUDY_SYSTEM_PROMPT,
         backend=backend,
-        registry=build_study_registry(context),
+        registry=build_study_registry(context, executor=executor, store=store),
         context=context,
     )

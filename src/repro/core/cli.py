@@ -11,11 +11,28 @@ against the batch engine (no chat loop)::
 
     gridmind study --case ieee118 --kind monte-carlo -n 200 --jobs 4
     gridmind study --case ieee57 --kind sweep --lo 80 --hi 120 --analysis acopf
+
+The ``serve`` subcommand starts the async multi-session service: one
+:class:`~repro.service.GridMindService` multiplexing named conversations
+over a shared study pool and (optionally) a persistent result store::
+
+    gridmind serve                      # interactive: "alice: solve ieee 14"
+    gridmind serve --demo               # scripted three-session interleave
+    gridmind serve --store runs/ \
+        --turn "a: sweep load 90-110% on ieee14" \
+        --turn "a: sweep load 80-125% on ieee14" \
+        --turn "a: compare the last two studies"
+
+``--turn`` turns run concurrently across sessions and in order within a
+session — address dependent turns (run a study, then compare it) to the
+same session, or run separate ``serve`` invocations against one
+``--store`` directory.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 
@@ -107,6 +124,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=argparse.SUPPRESS,
         help="ensemble RNG seed (monte-carlo draws)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async multi-session service (REPL or scripted turns)",
+        description=(
+            "Multiplex named conversations through one GridMindService: "
+            "turns addressed to the same session are serialised, different "
+            "sessions run concurrently, batch studies share one worker "
+            "pool, and results persist to the store directory."
+        ),
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="shared study-pool processes"
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="result-store directory (default: a temporary one)",
+    )
+    serve.add_argument(
+        "--turn",
+        action="append",
+        default=None,
+        metavar="SESSION:TEXT",
+        help="non-interactive: route 'name: text' through the service "
+        "(repeatable; concurrent across sessions, ordered within one — "
+        "give dependent turns the same session name)",
+    )
+    serve.add_argument(
+        "--demo",
+        action="store_true",
+        help="run the built-in three-session interleaved demo and exit",
+    )
+    for flag, kwargs in (
+        ("--model", {}),
+        ("--seed", {"type": int}),
+    ):
+        serve.add_argument(
+            flag, default=argparse.SUPPRESS, help=argparse.SUPPRESS, **kwargs
+        )
     return parser
 
 
@@ -203,10 +261,123 @@ def run_study(args) -> int:
     return 0
 
 
+#: Scripted interleave used by ``gridmind serve --demo``: two sessions
+#: converse and run sweeps concurrently (phase 1); once their studies are
+#: persisted, a third, brand-new session compares them from the store
+#: (phase 2 — sequenced after phase 1 because it *reads* its results).
+_DEMO_PHASES: list[list[tuple[str, str]]] = [
+    [
+        ("alice", "Solve the IEEE 14 bus case"),
+        ("bob", "Solve the IEEE 30 bus case"),
+        ("alice", "Run a load sweep study from 95% to 105% in 3 steps on ieee14"),
+        ("bob", "what's the network status?"),
+        ("alice", "Run a load sweep study from 80% to 120% in 5 steps on ieee14"),
+    ],
+    [
+        ("carol", "compare the last two studies"),
+    ],
+]
+
+
+def _parse_turn(raw: str) -> tuple[str, str]:
+    """Split a ``session: text`` directive (session defaults to 'main')."""
+    head, sep, tail = raw.partition(":")
+    if sep and head.strip() and " " not in head.strip():
+        return head.strip(), tail.strip()
+    return "main", raw.strip()
+
+
+async def _run_turns(service, turns, *, echo: bool) -> None:
+    """Schedule every turn up front (so sessions interleave), then print
+    the replies in submission order."""
+    tasks = [
+        (sid, text, asyncio.create_task(service.ask(sid, text)))
+        for sid, text in turns
+    ]
+    for sid, text, task in tasks:
+        reply = await task
+        if echo:
+            print(f"> [{sid}] {text}")
+        print(f"[{sid}] {reply.text}")
+        print(
+            f"  (turn {reply.turn} | agents: {', '.join(reply.agents)} | "
+            f"llm {reply.latency_virtual_s:.1f}s + compute {reply.wall_s:.2f}s)"
+        )
+
+
+async def _serve_async(args) -> int:
+    import tempfile
+
+    from ..service import GridMindService
+
+    store_ctx = None
+    store_dir = args.store
+    if store_dir is None:
+        store_ctx = tempfile.TemporaryDirectory(prefix="gridmind-store-")
+        store_dir = store_ctx.name
+    service = GridMindService(
+        model=getattr(args, "model", "gpt-5-mini"),
+        seed=getattr(args, "seed", 0),
+        max_workers=args.workers,
+        store_dir=store_dir,
+    )
+    try:
+        if args.demo:
+            print(
+                f"three-session interleaved demo (store: {store_dir}, "
+                f"{args.workers} shared workers)"
+            )
+            for phase in _DEMO_PHASES:
+                await _run_turns(service, phase, echo=True)
+            print(f"executor: {service.executor.stats()}")
+            return 0
+        if args.turn:
+            await _run_turns(service, [_parse_turn(t) for t in args.turn], echo=True)
+            return 0
+        print(_BANNER)
+        print(
+            "service REPL — address sessions as 'name: request' (bare text "
+            "goes to 'main'); ':sessions' lists sessions, ':quit' exits.\n"
+        )
+        while True:
+            try:
+                line = (await asyncio.to_thread(input, "gridmind*> ")).strip()
+            except (EOFError, KeyboardInterrupt):
+                print()
+                break
+            if not line:
+                continue
+            if line.lower() in {":quit", ":q", "quit", "exit"}:
+                break
+            if line.lower() == ":sessions":
+                for info in service.sessions():
+                    print(
+                        f"  {info.session_id}: {info.n_turns} turns, "
+                        f"case {info.case_name or '-'}, seed {info.seed}"
+                    )
+                continue
+            sid, text = _parse_turn(line)
+            reply = await service.ask(sid, text)
+            print(f"[{sid}] {reply.text}")
+        print(f"service metrics: {service.metrics()}")
+        return 0
+    finally:
+        await service.aclose()
+        if store_ctx is not None:
+            store_ctx.cleanup()
+
+
+def run_serve(args) -> int:
+    """Execute the ``serve`` subcommand (async service front end)."""
+    return asyncio.run(_serve_async(args))
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "command", None) == "study":
         return run_study(args)
+    if getattr(args, "command", None) == "serve":
+        return run_serve(args)
     color = _supports_color(sys.stdout)
     cyan = _CYAN if color else ""
     dim = _DIM if color else ""

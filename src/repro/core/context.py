@@ -50,6 +50,10 @@ class AgentContext:
     provenance: list[ProvenanceRecord] = field(default_factory=list)
     contingency_cache: ContingencyCache = field(default_factory=ContingencyCache)
     study_summary: dict | None = None  # last batch-study payload (JSON-ready)
+    #: Optional cross-session result store (duck-typed to
+    #: :class:`repro.service.store.ResultStore`; kept loose so core never
+    #: imports the service layer).  Runtime wiring only — not persisted.
+    result_store: object | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # case management
@@ -117,6 +121,28 @@ class AgentContext:
     def deposit_ca(self, result: ContingencyAnalysisResult) -> None:
         self.ca_result = result
         self.ca_version = self.require_network().version
+
+    # ------------------------------------------------------------------
+    # study retrieval (in-memory first, then the cross-session store)
+    # ------------------------------------------------------------------
+    def latest_study_summary(self) -> dict | None:
+        """The most recent study payload this context can see.
+
+        Prefers the in-memory summary (this session's last study); when a
+        result store is attached, falls back to the newest *persisted*
+        study — so a brand-new session can answer "what did the last
+        study find?" about work another session ran.
+        """
+        if self.study_summary is not None:
+            return self.study_summary
+        if self.result_store is None:
+            return None
+        try:
+            return self.result_store.latest_summary()
+        except Exception:
+            # A corrupt/unreadable store must degrade to "no study", not
+            # break status questions.
+            return None
 
     # ------------------------------------------------------------------
     # diff log & provenance

@@ -170,8 +170,13 @@ class WorkflowState(BaseModel):
 
 
 class ToolCallLogEntry(BaseModel):
-    """Audit-trail record of one executed tool call."""
+    """Audit-trail record of one executed tool call.
 
+    ``seq`` is the registry-wide monotonic call number: stable even after
+    the ring-buffer log evicts older entries, unlike a list index.
+    """
+
+    seq: int = 0
     tool: str
     arguments: dict[str, Any] = Field(default_factory=dict)
     result: dict[str, Any] | None = None

@@ -34,21 +34,49 @@ from .context import AgentContext
 
 
 class GridMindSession:
-    """A persistent conversational analysis session."""
+    """A persistent conversational analysis session.
 
-    def __init__(self, model: str = "gpt-5-mini", *, seed: int = 0) -> None:
+    The single-session core the service layer wraps: pass
+    ``study_executor`` to route batch studies through a shared long-lived
+    process pool (instead of per-run pools) and ``result_store`` to
+    persist full study result sets across sessions — both are what
+    :class:`repro.service.GridMindService` injects for every session it
+    creates.  ``max_log_records`` bounds the instrumentation window for
+    long-lived sessions (``None`` keeps everything).
+    """
+
+    def __init__(
+        self,
+        model: str = "gpt-5-mini",
+        *,
+        seed: int = 0,
+        session_id: str = "",
+        study_executor=None,
+        result_store=None,
+        max_log_records: int | None = None,
+    ) -> None:
         self.clock = VirtualClock()
         self.backend = SimulatedLLM(model, seed=seed, clock=self.clock)
         self.model = self.backend.name
+        self.seed = seed
+        self.session_id = session_id
+        self.study_executor = study_executor
+        self.result_store = result_store
         self.context = AgentContext()
+        self.context.result_store = result_store
         self.agents = {
             "acopf": make_acopf_agent(self.backend, self.context),
             "contingency": make_contingency_agent(self.backend, self.context),
-            "study": make_study_agent(self.backend, self.context),
+            "study": make_study_agent(
+                self.backend,
+                self.context,
+                executor=study_executor,
+                store=result_store,
+            ),
         }
         self.planner = PlannerAgent(self.backend, clock=self.clock)
         self.coordinator = Coordinator(self.planner, self.agents, self.context)
-        self.logger = RunLogger()
+        self.logger = RunLogger(max_records=max_log_records)
 
     # ------------------------------------------------------------------
     def ask(self, text: str) -> SessionReply:
@@ -106,17 +134,21 @@ class GridMindSession:
     def resume(self, path: str | Path) -> None:
         """Restore analytical state saved by :meth:`save`."""
         self.context = AgentContext.load(path)
+        self.context.result_store = self.result_store
         for agent in self.agents.values():
             agent.context = self.context
         self.coordinator.context = self.context
-        # Re-bind the tool registries to the restored context.
+        # Re-bind the tool registries to the restored context, keeping the
+        # shared executor/store wiring the session was created with.
         from .agents.acopf_agent import build_acopf_registry
         from .agents.contingency_agent import build_ca_registry
         from .agents.study_agent import build_study_registry
 
         self.agents["acopf"].registry = build_acopf_registry(self.context)
         self.agents["contingency"].registry = build_ca_registry(self.context)
-        self.agents["study"].registry = build_study_registry(self.context)
+        self.agents["study"].registry = build_study_registry(
+            self.context, executor=self.study_executor, store=self.result_store
+        )
 
     def export_log(self, path: str | Path) -> None:
         """Dump instrumentation records as JSON lines."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import time
+from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -41,12 +42,32 @@ class RegisteredTool:
         return ToolSpec(name=self.name, description=self.description, parameters=params)
 
 
+#: Default audit-log cap.  Long-lived service sessions issue tool calls
+#: indefinitely; an unbounded list is a slow memory leak, and nothing
+#: downstream needs more than the recent window (agents collect each
+#: turn's entries as they are produced).
+DEFAULT_MAX_LOG_ENTRIES = 1000
+
+
 @dataclass
 class ToolRegistry:
-    """Named tool collection with validation, logging, and JSON results."""
+    """Named tool collection with validation, logging, and JSON results.
+
+    The audit log is a ring buffer: at most ``max_log_entries`` entries
+    are retained (``None`` disables the cap).  Every entry carries a
+    monotonic ``seq`` number, so consumers track positions with
+    :attr:`call_count` / :meth:`entries_since` instead of list indices —
+    indices shift once eviction starts.
+    """
 
     tools: dict[str, RegisteredTool] = field(default_factory=dict)
-    log: list[ToolCallLogEntry] = field(default_factory=list)
+    max_log_entries: int | None = DEFAULT_MAX_LOG_ENTRIES
+    log: deque[ToolCallLogEntry] = field(default_factory=deque)
+    _issued: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.log, deque) or self.log.maxlen != self.max_log_entries:
+            self.log = deque(self.log, maxlen=self.max_log_entries)
 
     def register(
         self,
@@ -73,7 +94,8 @@ class ToolRegistry:
         provider tool-call loop.
         """
         start = time.perf_counter()
-        entry = ToolCallLogEntry(tool=name, arguments=dict(arguments))
+        entry = ToolCallLogEntry(tool=name, arguments=dict(arguments), seq=self._issued)
+        self._issued += 1
         try:
             tool = self.tools.get(name)
             if tool is None:
@@ -104,7 +126,18 @@ class ToolRegistry:
 
     @property
     def call_count(self) -> int:
-        return len(self.log)
+        """Total calls ever issued (monotonic; survives ring-buffer eviction)."""
+        return self._issued
+
+    def entries_since(self, seq: int) -> list[ToolCallLogEntry]:
+        """Retained log entries with ``entry.seq >= seq``, oldest first."""
+        return [e for e in self.log if e.seq >= seq]
+
+    def export_log(self, path) -> None:
+        """Dump the retained audit-log window as JSON lines."""
+        with open(path, "w") as fh:
+            for entry in self.log:
+                fh.write(entry.model_dump_json() + "\n")
 
     def failures(self) -> list[ToolCallLogEntry]:
         return [e for e in self.log if not e.ok]

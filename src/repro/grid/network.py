@@ -15,7 +15,7 @@ Two layers on purpose:
 from __future__ import annotations
 
 import copy as _copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

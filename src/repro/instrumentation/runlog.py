@@ -10,6 +10,7 @@ paper's figures.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -35,9 +36,19 @@ class RequestRecord:
 
 @dataclass
 class RunLogger:
-    """Accumulates per-request records and produces summary statistics."""
+    """Accumulates per-request records and produces summary statistics.
 
-    records: list[RequestRecord] = field(default_factory=list)
+    ``max_records`` bounds the retained window (ring buffer) so that
+    long-lived service sessions do not grow without limit; ``None``
+    keeps everything (the benchmark harnesses rely on full history).
+    """
+
+    records: deque[RequestRecord] = field(default_factory=deque)
+    max_records: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.records, deque) or self.records.maxlen != self.max_records:
+            self.records = deque(self.records, maxlen=self.max_records)
 
     def log(self, record: RequestRecord) -> None:
         self.records.append(record)

@@ -131,10 +131,14 @@ def narrate_contingency(res: dict, verbosity: int) -> str:
 
 
 _STUDY_KIND_LABELS = {
+    # Conversational tools tag with the long names, the service API with
+    # the short family names; both narrate identically.
     "load_sweep": "load sweep",
+    "sweep": "load sweep",
     "monte_carlo": "Monte Carlo load",
     "outage": "outage combination",
     "daily_profile": "daily load-profile",
+    "profile": "daily load-profile",
 }
 
 
@@ -200,6 +204,75 @@ def narrate_study(res: dict, verbosity: int) -> str:
         lines.append(
             "All ensemble statistics are aggregated from structured per-scenario "
             "solver results stored in the session context."
+        )
+    return "\n".join(lines)
+
+
+def _study_tag(meta: dict) -> str:
+    """Short human handle for one side of a comparison."""
+    kind = _STUDY_KIND_LABELS.get(meta.get("study_kind", ""), "scenario")
+    label = meta.get("label") or meta.get("key", "?")
+    when = meta.get("created_at_iso", "")
+    bits = [f"{label}", f"{meta.get('n_scenarios', '?')}-scenario {kind} study"]
+    if meta.get("case_name"):
+        bits.append(f"on {meta['case_name']}")
+    if when:
+        bits.append(f"stored {when}")
+    return f"{bits[0]} ({', '.join(bits[1:])})"
+
+
+def narrate_study_comparison(res: dict, verbosity: int) -> str:
+    """Grounded diff of two persisted studies (compare_studies payload)."""
+    a, b = res.get("a", {}), res.get("b", {})
+    agg_a, agg_b = res.get("aggregate_a", {}), res.get("aggregate_b", {})
+    delta = res.get("delta", {})
+    va = 100.0 * agg_a.get("violation_rate", 0.0)
+    vb = 100.0 * agg_b.get("violation_rate", 0.0)
+    head = (
+        f"Compared {_study_tag(a)} with {_study_tag(b)}: limit-violation "
+        f"rate moved from {va:.0f}% to {vb:.0f}% "
+        f"({100.0 * delta.get('violation_rate', 0.0):+.0f} points)."
+    )
+    if verbosity == 0:
+        return head
+    lines = [head]
+    d_cost = delta.get("cost_stats")
+    if d_cost:
+        lines.append(
+            f"Median cost shifted by {_money(d_cost['p50'])}/h "
+            f"(p95 by {_money(d_cost['p95'])}/h)."
+        )
+    d_loading = delta.get("loading_stats")
+    if d_loading:
+        lines.append(
+            f"Median peak loading changed by {d_loading['p50']:+.1f} points "
+            f"(worst case by {d_loading['max']:+.1f})."
+        )
+    new_over = res.get("newly_overloaded_branches") or []
+    cleared = res.get("cleared_branches") or []
+    if new_over:
+        lines.append(
+            "Branches overloading in the newer study but not the older: "
+            + ", ".join(str(x) for x in new_over[:6])
+            + "."
+        )
+    if cleared:
+        lines.append(
+            "Branches that stopped overloading: "
+            + ", ".join(str(x) for x in cleared[:6])
+            + "."
+        )
+    if not new_over and not cleared:
+        lines.append("The set of overloaded branches is unchanged.")
+    if verbosity >= 2:
+        if not res.get("same_base_network", True):
+            lines.append(
+                "Note: the two studies ran against different base operating "
+                "points (their network content hashes differ)."
+            )
+        lines.append(
+            "All comparison figures are computed from the persisted "
+            "per-scenario result sets in the cross-session store."
         )
     return "\n".join(lines)
 

@@ -70,14 +70,18 @@ _SIGMA_RE = re.compile(
     r"(\d+(?:\.\d+)?)\s*(?:%|percent)?",
     re.I,
 )
+_COMPARE_RE = re.compile(
+    r"\bcompare\b|\bversus\b|\bvs\.?\b|\bdiff(?:erence)?\b", re.I
+)
 
-#: Study-family keywords -> canonical study kind.
+#: Study-family keywords -> canonical study kind.  Plural forms matter:
+#: comparison questions say "compare the last two sweeps / ensembles".
 _STUDY_KIND_RES: list[tuple[str, re.Pattern]] = [
-    ("monte_carlo", re.compile(r"monte[\s-]*carlo|\bensemble\b|random\s+draw", re.I)),
+    ("monte_carlo", re.compile(r"monte[\s-]*carlo|\bensembles?\b|random\s+draw", re.I)),
     ("outage", re.compile(r"\bn-?2\b|double\s+outage|outage\s+(pair|combination)", re.I)),
     ("profile", re.compile(r"daily\s+(load\s+)?profile|load\s+profile|24[\s-]*hour", re.I)),
     ("sweep", re.compile(
-        r"\bsweep\b|load\s+(range|levels)|from\s+\d+\s*%?\s*to\s+\d+\s*%", re.I)),
+        r"\bsweeps?\b|load\s+(range|levels)|from\s+\d+\s*%?\s*to\s+\d+\s*%", re.I)),
 ]
 
 #: Analysis-engine keywords -> BatchStudyRunner analysis name.
@@ -135,7 +139,10 @@ def extract_entities(text: str) -> dict:
             ents["study"] = kind
             break
     if "study" in ents or re.search(r"\bstud(?:y|ies)\b", text, re.I):
-        # Study-scoped extras: scenario counts, sweep range, sigma, engine.
+        # Study-scoped extras: comparison flag, scenario counts, sweep
+        # range, sigma, engine.
+        if _COMPARE_RE.search(text):
+            ents["study_compare"] = True
         m = _NSCEN_RE.search(text)
         if m:
             ents["n_scenarios"] = int(m.group(1))
@@ -177,7 +184,9 @@ _INTENT_RULES: list[tuple[Intent, re.Pattern]] = [
         r"daily\s+(load\s+)?profile|24[\s-]*hour\s+(load\s+)?profile|"
         r"\b(load|what[\s-]?if|batch)\s+stud(y|ies)|"
         r"\bstud(y|ies)\b[^.]*\b(status|results?|summary)|"
-        r"\b(status|results?|summary)\b[^.]*\bstud(y|ies)\b", re.I)),
+        r"\b(status|results?|summary)\b[^.]*\bstud(y|ies)\b|"
+        r"\bcompare\b[^.]*\b(stud(y|ies)|sweeps?|ensembles?)\b|"
+        r"\b(stud(y|ies)|sweeps?|ensembles?)\b[^.]*\bcompare", re.I)),
     (Intent.ECONOMIC_IMPACT, re.compile(
         r"(economic|cost)\s+(impact|effect|consequence)|"
         r"impact.*\b(cost|objective)|how much (more|less).*cost", re.I)),

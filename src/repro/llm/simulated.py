@@ -309,6 +309,13 @@ class SimulatedLLM:
             return steps
 
         if parsed.intent == Intent.RUN_STUDY:
+            # Comparison questions target the cross-session result store,
+            # not a fresh run — and need no case (the store is addressed
+            # by content-hash keys).  Checked before the kind keywords so
+            # "compare today's sweep with yesterday's" never re-runs a
+            # sweep.
+            if ents.get("study_compare"):
+                return [PlannedStep("compare_studies", {})]
             # Status/summary questions about an earlier study need no case —
             # and must not re-run the (expensive) study even when the
             # question names its kind ("results of the Monte Carlo study?").
@@ -429,6 +436,10 @@ class SimulatedLLM:
             "run_daily_profile_study": (
                 "Stepping through the daily load profile with the batch runner."
             ),
+            "compare_studies": (
+                "Retrieving both persisted result sets and diffing their aggregates."
+            ),
+            "list_stored_studies": "Listing the persisted studies in the store.",
         }
         return notes.get(step.tool, f"Calling {step.tool}.")
 
@@ -488,6 +499,10 @@ class SimulatedLLM:
             return narration.narrate_quality(by_tool["assess_solution_quality"], verb)
 
         if parsed.intent == Intent.RUN_STUDY:
+            if "compare_studies" in by_tool:
+                return narration.narrate_study_comparison(
+                    by_tool["compare_studies"], verb
+                )
             for tool in STUDY_TOOLS:
                 if tool in by_tool:
                     return narration.narrate_study(by_tool[tool], verb)

@@ -11,7 +11,6 @@ import time
 
 import numpy as np
 
-from ..grid.components import BusType
 from ..grid.network import Network
 from .newton import bus_power_injections
 from .solution import PowerFlowResult, finalize_solution, make_admittances

@@ -357,6 +357,14 @@ def _run_chunk(scenarios: list[Scenario]) -> list[ScenarioResult]:
     return [_WORKER.run_scenario(s) for s in scenarios]
 
 
+def chunk_scenarios(
+    scenarios: list[Scenario], n_jobs: int, chunk_size: int | None = None
+) -> list[list[Scenario]]:
+    """Order-preserving dispatch chunks: ~4 per worker unless overridden."""
+    chunk = chunk_size or max(1, math.ceil(len(scenarios) / (max(1, n_jobs) * 4)))
+    return [scenarios[i : i + chunk] for i in range(0, len(scenarios), chunk)]
+
+
 @dataclass
 class BatchStudyRunner:
     """Execute scenario lists with optional process-pool parallelism.
@@ -365,6 +373,12 @@ class BatchStudyRunner:
     code path, so parallel and serial studies produce identical results.
     ``chunk_size`` controls dispatch granularity (default: ~4 chunks per
     worker, balancing load against per-chunk pickling overhead).
+
+    ``executor`` injects a long-lived shared pool (duck-typed to
+    :class:`repro.service.executor.StudyExecutor`): when set, chunks are
+    routed through it instead of spawning a per-``run()`` pool, so
+    back-to-back studies amortise worker start-up.  The executor decides
+    its own worker count; ``n_jobs`` is ignored on that path.
     """
 
     analysis: str = "powerflow"
@@ -375,8 +389,10 @@ class BatchStudyRunner:
     vmax: float = 1.06
     ac_budget: int = 20
     top_n: int = 5
+    executor: object | None = None  # shared StudyExecutor (service layer)
 
-    def _config(self) -> StudyConfig:
+    def config(self) -> StudyConfig:
+        """The validated per-study knob bundle shipped to every worker."""
         if self.analysis not in ANALYSES:
             raise ValueError(
                 f"unknown analysis {self.analysis!r}; use one of {ANALYSES}"
@@ -391,19 +407,21 @@ class BatchStudyRunner:
         )
 
     def run(self, base: Network, scenarios: list[Scenario]) -> StudyResult:
-        config = self._config()
+        config = self.config()
         start = time.perf_counter()
 
-        if self.n_jobs <= 1 or len(scenarios) < 2:
+        if self.executor is not None and len(scenarios) >= 2:
+            results = self.executor.run_study(
+                base, config, scenarios, chunk_size=self.chunk_size
+            )
+            jobs = getattr(self.executor, "max_workers", 1)
+        elif self.n_jobs <= 1 or len(scenarios) < 2:
             state = _WorkerState(base.copy(), config)
             results = [state.run_scenario(s) for s in scenarios]
             jobs = 1
         else:
             jobs = min(self.n_jobs, len(scenarios))
-            chunk = self.chunk_size or max(1, math.ceil(len(scenarios) / (jobs * 4)))
-            chunks = [
-                scenarios[i : i + chunk] for i in range(0, len(scenarios), chunk)
-            ]
+            chunks = chunk_scenarios(scenarios, jobs, self.chunk_size)
             with ProcessPoolExecutor(
                 max_workers=jobs, initializer=_init_worker, initargs=(base, config)
             ) as pool:

@@ -1,0 +1,108 @@
+"""Typed request/response envelopes for the :class:`GridMindService` API.
+
+Every call that crosses the service boundary is a pydantic model, so a
+transport layer (HTTP, websocket, queue) can serialise it verbatim and
+the service validates inputs exactly the way the tool registry validates
+tool arguments.  The envelopes deliberately carry only plain data — no
+network objects, no solver state — mirroring the paper's principle that
+agent boundaries exchange validated structured artefacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from pydantic import BaseModel, Field
+
+#: Scenario families the service can expand server-side.
+STUDY_KINDS = ("sweep", "monte_carlo", "outage", "profile")
+
+
+def derive_session_seed(service_seed: int, session_id: str) -> int:
+    """Stable per-session seed from ``(service_seed, session_id)``.
+
+    Hash-derived rather than counter-derived so a session's RNG stream
+    depends only on its *name*, never on how many sessions were created
+    before it — concurrent sessions stay individually reproducible
+    regardless of creation order.
+    """
+    digest = hashlib.blake2b(
+        f"{service_seed}\x1f{session_id}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+class AskRequest(BaseModel):
+    """One conversational turn addressed to a named session."""
+
+    session_id: str = Field(min_length=1, description="target session name")
+    text: str = Field(min_length=1, description="natural-language request")
+    create: bool = Field(
+        default=True,
+        description="create the session on first use instead of failing",
+    )
+
+
+class AskReply(BaseModel):
+    """The service-level outcome of one turn (text + instrumentation)."""
+
+    session_id: str
+    turn: int = 0
+    text: str
+    agents: list[str] = Field(default_factory=list)
+    ok: bool = True
+    model: str = ""
+    latency_virtual_s: float = 0.0
+    wall_s: float = 0.0
+    total_s: float = 0.0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    n_tool_calls: int = 0
+
+
+class SessionInfo(BaseModel):
+    """Directory entry for one managed session."""
+
+    session_id: str
+    model: str
+    seed: int
+    n_turns: int = 0
+    case_name: str | None = None
+
+
+class StudyRequest(BaseModel):
+    """A declarative batch study submitted directly to the service.
+
+    The same families the study agent exposes conversationally, minus the
+    conversation: the service expands the family, routes it through the
+    shared executor, and persists the result set when a store is attached.
+    """
+
+    case_name: str = Field(description="IEEE case identifier, e.g. 'ieee118'")
+    kind: str = Field(default="monte_carlo", description=f"one of {STUDY_KINDS}")
+    analysis: str = Field(default="powerflow")
+    n_scenarios: int | None = Field(
+        default=None,
+        ge=1,
+        le=5000,
+        description="draws (monte_carlo), steps (sweep/profile), cap (outage)",
+    )
+    lo_percent: float = Field(default=80.0, gt=0.0)
+    hi_percent: float = Field(default=120.0, gt=0.0)
+    sigma_percent: float = Field(default=5.0, ge=0.0, le=100.0)
+    depth: int = Field(default=2, ge=1, le=3)
+    seed: int = Field(default=0, ge=0)
+    label: str = Field(default="", description="free-text tag kept in the store")
+
+
+class StudyReply(BaseModel):
+    """Summary of a completed study plus its persistent store key."""
+
+    study_key: str | None = None
+    case_name: str
+    analysis: str
+    study_kind: str
+    n_scenarios: int
+    n_jobs: int = 1
+    runtime_s: float = 0.0
+    summary: dict = Field(default_factory=dict)

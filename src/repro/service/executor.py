@@ -1,0 +1,224 @@
+"""StudyExecutor: one long-lived process pool shared by every study.
+
+:class:`~repro.scenarios.runner.BatchStudyRunner` historically spun up a
+``ProcessPoolExecutor`` per ``run()`` call, paying worker start-up
+(interpreter fork + numpy/scipy import on spawn) for every study.  The
+service layer instead owns a single :class:`StudyExecutor`: a work queue
+over one persistent pool that all sessions share, so back-to-back studies
+reuse warm workers.
+
+Worker-side state is content-addressed.  Each worker process keeps a
+small LRU of :class:`~repro.scenarios.runner._WorkerState` instances
+keyed by ``(network content hash, study config)``; a chunk task carries
+the pickled base network, but a worker unpickles it only the first time
+it sees that study key — subsequent chunks of the same study (and
+re-runs of an identical study) reuse the resident state, including its
+PTDF/LODF factor cache and contingency cache.  The parent likewise
+pickles the base network once per study, not once per chunk.
+
+Determinism: chunks are submitted and collected in scenario order and
+evaluated by the exact same ``_WorkerState`` code path the serial runner
+uses, so executor-backed, per-run-pool, and serial studies produce
+identical result lists.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from ..contingency.cache import network_content_hash
+from ..grid.network import Network
+from ..scenarios.runner import (
+    ScenarioResult,
+    StudyConfig,
+    _WorkerState,
+    chunk_scenarios,
+)
+from ..scenarios.spec import Scenario
+
+# ----------------------------------------------------------------------
+# worker-side plumbing (runs inside pool processes)
+# ----------------------------------------------------------------------
+
+#: Resident per-study states, LRU-evicted.  Small cap: a state holds a
+#: full network copy plus factor/contingency caches.
+_STATE_CAP = 4
+
+_STATES: OrderedDict[str, _WorkerState] = OrderedDict()
+
+
+def _run_shared_chunk(
+    study_key: str,
+    base_blob: bytes,
+    config: StudyConfig,
+    scenarios: list[Scenario],
+) -> tuple[int, list[ScenarioResult]]:
+    """Evaluate one chunk, reusing this worker's resident study state.
+
+    Returns ``(pid, results)`` so the parent can observe which workers
+    served the study — the acceptance signal that consecutive studies
+    reuse one pool instead of spawning fresh processes.
+    """
+    state = _STATES.get(study_key)
+    if state is None:
+        base = pickle.loads(base_blob)
+        state = _WorkerState(base, config)
+        _STATES[study_key] = state
+        while len(_STATES) > _STATE_CAP:
+            _STATES.popitem(last=False)
+    else:
+        _STATES.move_to_end(study_key)
+    return os.getpid(), [state.run_scenario(s) for s in scenarios]
+
+
+# ----------------------------------------------------------------------
+# parent-side executor
+# ----------------------------------------------------------------------
+
+
+def study_state_key(base: Network, config: StudyConfig) -> str:
+    """Content-hash key for a (base network, study config) pair."""
+    import hashlib
+
+    return hashlib.blake2b(
+        f"{network_content_hash(base)}|{config!r}".encode("utf-8"),
+        digest_size=8,
+    ).hexdigest()
+
+
+class StudyExecutor:
+    """Work queue over one persistent process pool, shared across studies.
+
+    Thread-safe: the service layer calls :meth:`run_study` from multiple
+    worker threads (one per active session turn); pool creation and stat
+    updates are serialised behind a lock while the chunk futures
+    themselves run unlocked.
+    """
+
+    def __init__(self, max_workers: int = 2, chunk_size: int | None = None) -> None:
+        self.max_workers = max(1, int(max_workers))
+        self.chunk_size = chunk_size
+        self._pool: ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+        # Lifecycle instrumentation: `pools_started` staying at 1 across
+        # many studies is the whole point of this class.
+        self.pools_started = 0
+        self.n_studies = 0
+        self.n_chunks = 0
+        self.worker_pids: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def start(self) -> "StudyExecutor":
+        """Create the worker pool now, on the calling thread.
+
+        Call this from a single-threaded context (the service does, at
+        construction on the main thread): forking pool workers while
+        other threads are running risks children inheriting locks held
+        mid-operation — CPython's documented fork hazard.  Lazy creation
+        inside :meth:`run_study` remains as a fallback for direct,
+        single-threaded users.
+        """
+        with self._lock:
+            self._start_locked()
+        return self
+
+    def _start_locked(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            self.pools_started += 1
+        return self._pool
+
+    def run_study(
+        self,
+        base: Network,
+        config: StudyConfig,
+        scenarios: list[Scenario],
+        *,
+        chunk_size: int | None = None,
+    ) -> list[ScenarioResult]:
+        """Execute ``scenarios`` on the shared pool, preserving order."""
+        if not scenarios:
+            return []
+        key = study_state_key(base, config)
+        blob = pickle.dumps(base, protocol=pickle.HIGHEST_PROTOCOL)
+        chunks = chunk_scenarios(
+            scenarios,
+            min(self.max_workers, len(scenarios)),
+            chunk_size or self.chunk_size,
+        )
+        # Submit under the lock: pool creation, submission, and the
+        # broken-pool reset below are mutually exclusive, so no thread
+        # can submit into a pool another thread is tearing down.
+        with self._lock:
+            pool = self._start_locked()
+            try:
+                futures = [
+                    pool.submit(_run_shared_chunk, key, blob, config, c)
+                    for c in chunks
+                ]
+            except BrokenProcessPool:
+                self._reset_broken_pool(pool)
+                raise
+        try:
+            results: list[ScenarioResult] = []
+            pids: set[int] = set()
+            for future in futures:
+                pid, chunk_results = future.result()
+                pids.add(pid)
+                results.extend(chunk_results)
+        except BrokenProcessPool:
+            # Only a *broken* pool (a worker died) poisons later
+            # submissions and must be dropped so the next study restarts
+            # cleanly.  Any other failure leaves the shared pool — and
+            # every concurrent study running on it — untouched.
+            with self._lock:
+                self._reset_broken_pool(pool)
+            raise
+        with self._lock:
+            self.n_studies += 1
+            self.n_chunks += len(chunks)
+            self.worker_pids.update(pids)
+        return results
+
+    def _reset_broken_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Drop ``pool`` if it is still current (caller holds the lock).
+
+        The identity check matters under concurrency: a study whose
+        futures came from an *old* broken pool may raise after another
+        thread has already replaced it — tearing down the healthy
+        replacement (and cancelling its in-flight studies) would turn one
+        failure into many.
+        """
+        pool.shutdown(wait=False, cancel_futures=True)
+        if self._pool is pool:
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Lifecycle counters (JSON-ready)."""
+        with self._lock:
+            return {
+                "max_workers": self.max_workers,
+                "pools_started": self.pools_started,
+                "n_studies": self.n_studies,
+                "n_chunks": self.n_chunks,
+                "n_worker_pids": len(self.worker_pids),
+                "alive": self._pool is not None,
+            }
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=wait)
+                self._pool = None
+
+    def __enter__(self) -> "StudyExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

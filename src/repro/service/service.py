@@ -1,0 +1,291 @@
+"""GridMindService: the asyncio multi-session front door.
+
+The paper frames GridMind as a *service* engineers talk to; this module
+is the top of that stack.  One service owns
+
+* many named :class:`~repro.core.session.GridMindSession` cores, each
+  wrapped in a slot with an ``asyncio.Lock`` — turns addressed to the
+  same session are serialised (a conversation is a sequence), while
+  turns addressed to different sessions run concurrently on worker
+  threads,
+* one shared :class:`~repro.service.executor.StudyExecutor`, so every
+  batch study from every session lands on the same warm process pool,
+* optionally one :class:`~repro.service.store.ResultStore`, so study
+  result sets persist across sessions and process lifetimes.
+
+Determinism: a session's RNG seed derives from ``(service seed, session
+id)`` (:func:`~repro.service.api.derive_session_seed`), never from
+creation order, and per-session serialisation means the reply stream of
+a session is byte-identical to running the same turns through a
+stand-alone ``GridMindSession`` with the derived seed — interleaving N
+conversations cannot change any of their answers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from ..core.session import GridMindSession
+from .api import (
+    STUDY_KINDS,
+    AskReply,
+    AskRequest,
+    SessionInfo,
+    StudyReply,
+    StudyRequest,
+    derive_session_seed,
+)
+from .executor import StudyExecutor
+from .store import ResultStore
+
+
+class SessionNotFound(KeyError):
+    """The addressed session does not exist (and auto-create was off)."""
+
+
+class ServiceClosed(RuntimeError):
+    """The service has been shut down; no further requests are accepted."""
+
+
+@dataclass
+class _SessionSlot:
+    """One managed session plus its turn-serialisation lock."""
+
+    session_id: str
+    session: GridMindSession
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    turns: int = 0
+
+    def info(self) -> SessionInfo:
+        return SessionInfo(
+            session_id=self.session_id,
+            model=self.session.model,
+            seed=self.session.seed,
+            n_turns=self.turns,
+            case_name=self.session.context.case_name or None,
+        )
+
+
+class GridMindService:
+    """Async façade multiplexing many sessions over shared compute."""
+
+    def __init__(
+        self,
+        *,
+        model: str = "gpt-5-mini",
+        seed: int = 0,
+        max_workers: int = 2,
+        store: ResultStore | None = None,
+        store_dir: str | None = None,
+        max_sessions: int = 128,
+    ) -> None:
+        if store is None and store_dir is not None:
+            store = ResultStore(store_dir)
+        self.model = model
+        self.seed = seed
+        self.store = store
+        # Started eagerly: the service construction thread is (normally)
+        # the only thread alive, so workers fork before session turns
+        # start running on to_thread workers — and the pool is warm for
+        # the first study.
+        self.executor = StudyExecutor(max_workers=max_workers).start()
+        self.max_sessions = max_sessions
+        self._slots: dict[str, _SessionSlot] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # session management
+    # ------------------------------------------------------------------
+    def create_session(
+        self, session_id: str | None = None, *, model: str | None = None
+    ) -> SessionInfo:
+        """Create (and register) a named session; id defaults to ``s<n>``."""
+        self._check_open()
+        if session_id is None:
+            n = len(self._slots)
+            while f"s{n:03d}" in self._slots:
+                n += 1
+            session_id = f"s{n:03d}"
+        if session_id in self._slots:
+            raise ValueError(f"session {session_id!r} already exists")
+        if len(self._slots) >= self.max_sessions:
+            raise RuntimeError(
+                f"session limit reached ({self.max_sessions}); close one first"
+            )
+        session = GridMindSession(
+            model=model or self.model,
+            seed=derive_session_seed(self.seed, session_id),
+            session_id=session_id,
+            study_executor=self.executor,
+            result_store=self.store,
+        )
+        self._slots[session_id] = _SessionSlot(session_id, session)
+        return self._slots[session_id].info()
+
+    def get_session(self, session_id: str) -> GridMindSession:
+        slot = self._slots.get(session_id)
+        if slot is None:
+            raise SessionNotFound(f"no session {session_id!r}")
+        return slot.session
+
+    def close_session(self, session_id: str) -> None:
+        if self._slots.pop(session_id, None) is None:
+            raise SessionNotFound(f"no session {session_id!r}")
+
+    def sessions(self) -> list[SessionInfo]:
+        return [slot.info() for slot in self._slots.values()]
+
+    # ------------------------------------------------------------------
+    # conversational turns
+    # ------------------------------------------------------------------
+    async def ask(
+        self, request: AskRequest | str, text: str | None = None
+    ) -> AskReply:
+        """Process one turn; concurrent calls interleave across sessions.
+
+        Accepts either a validated :class:`AskRequest` envelope or the
+        convenience form ``ask(session_id, text)``.
+        """
+        self._check_open()
+        if not isinstance(request, AskRequest):
+            if text is None:
+                raise TypeError("ask(session_id, text) requires the text argument")
+            request = AskRequest(session_id=request, text=text)
+        slot = self._slots.get(request.session_id)
+        if slot is None:
+            if not request.create:
+                raise SessionNotFound(f"no session {request.session_id!r}")
+            self.create_session(request.session_id)
+            slot = self._slots[request.session_id]
+
+        # Serialise turns per session; the blocking solver/LLM work runs
+        # on a thread so *other* sessions' turns proceed concurrently.
+        async with slot.lock:
+            reply = await asyncio.to_thread(slot.session.ask, request.text)
+            slot.turns += 1
+            turn = slot.turns
+            record = slot.session.last_record
+
+        return AskReply(
+            session_id=request.session_id,
+            turn=turn,
+            text=reply.text,
+            agents=reply.agents_involved,
+            ok=record.success if record else True,
+            model=slot.session.model,
+            latency_virtual_s=reply.latency_s,
+            wall_s=reply.wall_s,
+            total_s=reply.latency_s + reply.wall_s,
+            prompt_tokens=reply.usage.prompt_tokens,
+            completion_tokens=reply.usage.completion_tokens,
+            n_tool_calls=len(reply.tool_calls),
+        )
+
+    # ------------------------------------------------------------------
+    # direct study submission (no conversation required)
+    # ------------------------------------------------------------------
+    async def run_study(self, request: StudyRequest) -> StudyReply:
+        """Expand and execute a study on the shared pool; persist if stored."""
+        self._check_open()
+        return await asyncio.to_thread(self._run_study_sync, request)
+
+    def _run_study_sync(self, request: StudyRequest) -> StudyReply:
+        from ..grid.cases import load_case
+        from ..scenarios import (
+            BatchStudyRunner,
+            daily_profile,
+            load_sweep,
+            monte_carlo_ensemble,
+            outage_combinations,
+        )
+
+        if request.kind not in STUDY_KINDS:
+            raise ValueError(
+                f"unknown study kind {request.kind!r}; use one of {STUDY_KINDS}"
+            )
+        net = load_case(request.case_name)
+        if request.kind == "sweep":
+            scenarios = load_sweep(
+                request.lo_percent / 100.0,
+                request.hi_percent / 100.0,
+                request.n_scenarios or 9,
+            )
+        elif request.kind == "profile":
+            scenarios = daily_profile(steps=request.n_scenarios or 24)
+        elif request.kind == "outage":
+            scenarios = outage_combinations(
+                net, depth=request.depth, limit=request.n_scenarios or 50
+            )
+        else:
+            scenarios = monte_carlo_ensemble(
+                n=request.n_scenarios or 200,
+                sigma=request.sigma_percent / 100.0,
+                seed=request.seed,
+            )
+        runner = BatchStudyRunner(analysis=request.analysis, executor=self.executor)
+        study = runner.run(net, scenarios)
+        key = None
+        if self.store is not None:
+            key = self.store.put(
+                net,
+                runner.config(),
+                scenarios,
+                study,
+                study_kind=request.kind,
+                label=request.label,
+            )
+        summary = study.to_dict(max_scenarios=5)
+        summary["study_kind"] = request.kind
+        if key:
+            summary["study_key"] = key
+        return StudyReply(
+            study_key=key,
+            case_name=study.case_name,
+            analysis=study.analysis,
+            study_kind=request.kind,
+            n_scenarios=study.n_scenarios,
+            n_jobs=study.n_jobs,
+            runtime_s=study.runtime_s,
+            summary=summary,
+        )
+
+    async def compare_studies(
+        self, ref_a: str | None = None, ref_b: str | None = None
+    ) -> dict:
+        """Diff two stored studies (defaults: the two most recent)."""
+        self._check_open()
+        if self.store is None:
+            raise RuntimeError("service has no result store configured")
+        return await asyncio.to_thread(self.store.compare, ref_a, ref_b)
+
+    # ------------------------------------------------------------------
+    # lifecycle and instrumentation
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict:
+        """Service-wide instrumentation: per-session summaries + executor."""
+        return {
+            "n_sessions": len(self._slots),
+            "sessions": {
+                sid: slot.session.metrics() for sid, slot in self._slots.items()
+            },
+            "executor": self.executor.stats(),
+            "n_stored_studies": len(self.store) if self.store is not None else 0,
+        }
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosed("GridMindService is closed")
+
+    async def aclose(self) -> None:
+        """Shut down the shared pool and refuse further requests."""
+        if self._closed:
+            return
+        self._closed = True
+        await asyncio.to_thread(self.executor.shutdown)
+
+    async def __aenter__(self) -> "GridMindService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()

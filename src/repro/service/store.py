@@ -1,0 +1,341 @@
+"""ResultStore: content-addressed, on-disk persistence of study results.
+
+A batch study used to live only inside one session's
+``AgentContext.study_summary`` — an aggregate, in memory, gone when the
+process exits.  The store persists the *full per-scenario result set*
+under a content-hash key::
+
+    <network content hash>-<spec hash>
+
+where the network hash covers the base operating point (loads, topology,
+dispatch, limits) and the spec hash covers the study definition (analysis
+config plus every scenario's perturbation records and tags).  The key is
+therefore deterministic: re-running an identical study addresses the same
+entry, while any change to the base case or the scenario family produces
+a new one.  Any session — including a brand-new one — can list entries,
+reload the exact :class:`~repro.scenarios.runner.ScenarioResult` records,
+and answer "compare today's sweep with yesterday's".
+
+Files are one JSON document per study (``<key>.json`` under the store
+root), written atomically via a temp-file rename.  JSON round-trips
+Python floats exactly (shortest-repr encoding), so a reloaded result set
+is bit-identical to what the runner produced — a property the test suite
+asserts.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..contingency.cache import network_content_hash
+from ..grid.network import Network
+from ..scenarios.aggregate import aggregate_study
+from ..scenarios.runner import ScenarioResult, StudyConfig, StudyResult
+from ..scenarios.spec import Scenario
+
+FORMAT = "gridmind-study-v1"
+
+
+class StudyNotFound(KeyError):
+    """No stored study matches the requested key/label."""
+
+
+def spec_hash(config: StudyConfig, scenarios: list[Scenario]) -> str:
+    """Deterministic digest of a study definition (config + scenarios)."""
+    canon = {
+        "config": dataclasses.asdict(config),
+        "scenarios": [
+            {
+                "name": s.name,
+                "tags": s.tags,
+                "perturbations": [
+                    {"kind": type(p).__name__, **dataclasses.asdict(p)}
+                    for p in s.perturbations
+                ],
+            }
+            for s in scenarios
+        ],
+    }
+    blob = json.dumps(canon, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.blake2b(blob.encode("utf-8"), digest_size=8).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoredStudyMeta:
+    """Directory entry for one persisted study."""
+
+    key: str
+    case_name: str
+    analysis: str
+    study_kind: str
+    label: str
+    created_at: float
+    n_scenarios: int
+    n_jobs: int
+    runtime_s: float
+
+    def to_dict(self) -> dict:
+        out = dataclasses.asdict(self)
+        out["created_at_iso"] = time.strftime(
+            "%Y-%m-%dT%H:%M:%S", time.localtime(self.created_at)
+        )
+        return out
+
+
+class ResultStore:
+    """Directory-backed store of full per-scenario study result sets."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # keys and paths
+    # ------------------------------------------------------------------
+    def key_for(
+        self, base: Network, config: StudyConfig, scenarios: list[Scenario]
+    ) -> str:
+        return f"{network_content_hash(base)}-{spec_hash(config, scenarios)}"
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def _meta_path(self, key: str) -> Path:
+        # Deliberately not *.json so directory listings can glob payloads
+        # and sidecars separately.
+        return self.root / f"{key}.meta"
+
+    def _write_atomic(self, path: Path, text: str) -> None:
+        """Write via a unique temp file + rename: concurrent puts of the
+        same study (identical content-hash key) must not fight over one
+        temp name, and readers never see partial files."""
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{path.name}.", suffix=".tmp", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+
+    # ------------------------------------------------------------------
+    # write
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        base: Network,
+        config: StudyConfig,
+        scenarios: list[Scenario],
+        study: StudyResult,
+        *,
+        study_kind: str = "",
+        label: str = "",
+    ) -> str:
+        """Persist a full study result set; returns its content-hash key."""
+        key = self.key_for(base, config, scenarios)
+        meta = StoredStudyMeta(
+            key=key,
+            case_name=study.case_name,
+            analysis=study.analysis,
+            study_kind=study_kind,
+            label=label,
+            created_at=time.time(),
+            n_scenarios=study.n_scenarios,
+            n_jobs=study.n_jobs,
+            runtime_s=study.runtime_s,
+        )
+        payload = {
+            "format": FORMAT,
+            **dataclasses.asdict(meta),
+            "network_hash": network_content_hash(base),
+            "spec_hash": spec_hash(config, scenarios),
+            "config": dataclasses.asdict(config),
+            "results": [dataclasses.asdict(r) for r in study.results],
+        }
+        self._write_atomic(self._path(key), json.dumps(payload, default=str))
+        # Sidecar metadata keeps directory listings O(studies), not
+        # O(total stored result bytes); written second so a sidecar
+        # never points at a missing payload.
+        self._write_atomic(
+            self._meta_path(key), json.dumps(dataclasses.asdict(meta))
+        )
+        return key
+
+    # ------------------------------------------------------------------
+    # read
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> dict:
+        """Raw stored payload for ``key`` (resolves label/prefix refs)."""
+        path = self._path(key)
+        if not path.exists():
+            key = self.resolve(key)
+            path = self._path(key)
+        payload = json.loads(path.read_text())
+        if payload.get("format") != FORMAT:
+            raise ValueError(f"{path}: not a {FORMAT} file")
+        return payload
+
+    def load_result(self, key: str) -> StudyResult:
+        """Reconstruct the full :class:`StudyResult` for ``key``."""
+        payload = self.get(key)
+        results = [ScenarioResult(**r) for r in payload["results"]]
+        return StudyResult(
+            case_name=payload["case_name"],
+            analysis=payload["analysis"],
+            results=results,
+            runtime_s=payload["runtime_s"],
+            n_jobs=payload["n_jobs"],
+        )
+
+    @staticmethod
+    def _meta_from(payload: dict) -> StoredStudyMeta:
+        return StoredStudyMeta(
+            key=payload["key"],
+            case_name=payload.get("case_name", ""),
+            analysis=payload.get("analysis", ""),
+            study_kind=payload.get("study_kind", ""),
+            label=payload.get("label", ""),
+            created_at=float(payload.get("created_at", 0.0)),
+            n_scenarios=int(payload.get("n_scenarios", 0)),
+            n_jobs=int(payload.get("n_jobs", 1)),
+            runtime_s=float(payload.get("runtime_s", 0.0)),
+        )
+
+    def list_studies(self) -> list[StoredStudyMeta]:
+        """All stored studies, oldest first by creation time.
+
+        Reads the per-study ``.meta`` sidecars, so listing cost scales
+        with the study count, not the stored result bytes; payloads
+        missing a sidecar (older stores, interrupted writes) fall back
+        to a full parse.
+        """
+        entries = []
+        for path in self.root.glob("*.json"):
+            key = path.stem
+            meta_path = self._meta_path(key)
+            payload = None
+            if meta_path.exists():
+                try:
+                    payload = json.loads(meta_path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    payload = None
+            if payload is None:
+                try:
+                    payload = json.loads(path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    continue
+                if payload.get("format") != FORMAT:
+                    continue
+            try:
+                entries.append(self._meta_from(payload))
+            except (KeyError, TypeError, ValueError):
+                continue
+        entries.sort(key=lambda m: (m.created_at, m.key))
+        return entries
+
+    def __len__(self) -> int:
+        return len(self.list_studies())
+
+    def resolve(self, ref: str, entries: list[StoredStudyMeta] | None = None) -> str:
+        """Turn a key, unique key prefix, or label into a concrete key.
+
+        ``entries`` lets callers that already hold a directory listing
+        avoid a second store scan.
+        """
+        if entries is None:
+            entries = self.list_studies()
+        by_key = [m.key for m in entries if m.key == ref]
+        if by_key:
+            return by_key[0]
+        by_prefix = [m.key for m in entries if m.key.startswith(ref)] if ref else []
+        if len(by_prefix) == 1:
+            return by_prefix[0]
+        # Labels may repeat (e.g. a nightly sweep): newest wins.
+        by_label = [m.key for m in entries if m.label and m.label == ref]
+        if by_label:
+            return by_label[-1]
+        raise StudyNotFound(
+            f"no stored study matches {ref!r} "
+            f"({len(entries)} studies in {self.root})"
+        )
+
+    def latest_summary(self) -> dict | None:
+        """Agent-shaped summary of the newest stored study (or ``None``).
+
+        The payload mirrors what the study tools deposit into
+        ``AgentContext.study_summary``, so a fresh session can answer
+        study-status questions from disk alone.
+        """
+        entries = self.list_studies()
+        if not entries:
+            return None
+        meta = entries[-1]
+        result = self.load_result(meta.key)
+        summary = result.to_dict(max_scenarios=5)
+        summary["study_kind"] = meta.study_kind
+        summary["study_key"] = meta.key
+        summary["source"] = "result_store"
+        return summary
+
+    # ------------------------------------------------------------------
+    # comparison
+    # ------------------------------------------------------------------
+    def compare(self, ref_a: str | None = None, ref_b: str | None = None) -> dict:
+        """Diff two stored studies' ensemble aggregates.
+
+        With refs omitted, compares the two most recent studies (``a`` =
+        older, ``b`` = newer) — the "today's sweep vs yesterday's" path.
+        """
+        entries = self.list_studies()
+        if ref_a is None or ref_b is None:
+            if len(entries) < 2:
+                raise StudyNotFound(
+                    f"need two stored studies to compare, have {len(entries)}"
+                )
+            ref_a = ref_a or entries[-2].key
+            ref_b = ref_b or entries[-1].key
+        key_a = self.resolve(ref_a, entries)
+        key_b = self.resolve(ref_b, entries)
+        meta = {m.key: m for m in entries}
+        result_a = self.load_result(key_a)
+        result_b = self.load_result(key_b)
+        agg_a = aggregate_study(result_a.results).to_dict()
+        agg_b = aggregate_study(result_b.results).to_dict()
+
+        delta: dict = {}
+        for rate in ("violation_rate", "overload_rate", "voltage_violation_rate"):
+            delta[rate] = round(agg_b[rate] - agg_a[rate], 4)
+        for stats_key, fields in (
+            ("cost_stats", ("p50", "p95", "max")),
+            ("loading_stats", ("p50", "max")),
+            ("min_voltage_stats", ("min",)),
+        ):
+            sa, sb = agg_a.get(stats_key), agg_b.get(stats_key)
+            if sa and sb:
+                delta[stats_key] = {
+                    f: round(sb[f] - sa[f], 4) for f in fields
+                }
+
+        freq_a = {int(k) for k in (agg_a.get("branch_overload_freq") or {})}
+        freq_b = {int(k) for k in (agg_b.get("branch_overload_freq") or {})}
+        return {
+            "a": meta[key_a].to_dict() if key_a in meta else {"key": key_a},
+            "b": meta[key_b].to_dict() if key_b in meta else {"key": key_b},
+            "aggregate_a": agg_a,
+            "aggregate_b": agg_b,
+            "delta": delta,
+            "newly_overloaded_branches": sorted(freq_b - freq_a),
+            "cleared_branches": sorted(freq_a - freq_b),
+            "same_base_network": key_a.split("-")[0] == key_b.split("-")[0],
+        }

@@ -39,3 +39,31 @@ def test_noninteractive_multiple_asks(capsys):
 def test_unknown_model_raises():
     with pytest.raises(KeyError):
         main(["--model", "gpt-fake", "--ask", "Solve IEEE 14"])
+
+
+def test_parser_serve_defaults():
+    args = build_parser().parse_args(["serve"])
+    assert args.command == "serve"
+    assert args.workers == 2
+    assert args.store is None
+    assert not args.demo
+
+
+def test_serve_turn_routes_named_sessions(tmp_path, capsys):
+    rc = main([
+        "serve",
+        "--store", str(tmp_path),
+        "--turn", "alice: Solve IEEE 14",
+        "--turn", "bob: what can you do?",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "[alice] Solved ACOPF for ieee14" in out
+    assert "8,081" in out
+    assert "[bob]" in out
+
+
+def test_serve_turn_defaults_to_main_session(tmp_path, capsys):
+    rc = main(["serve", "--store", str(tmp_path), "--turn", "Solve IEEE 14"])
+    assert rc == 0
+    assert "[main]" in capsys.readouterr().out

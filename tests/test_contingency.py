@@ -1,6 +1,5 @@
 """N-1 engine: outcomes, islanding, warm starts, parallel sweep."""
 
-import numpy as np
 import pytest
 
 from repro.contingency import (

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.grid.io import from_matpower, load_json, save_json, to_matpower
-from repro.grid.cases import load_case
 from repro.powerflow import solve_newton
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.contingency import (
-    BALANCED_WEIGHTS,
     ContingencyCache,
     network_content_hash,
     rank_critical_elements,

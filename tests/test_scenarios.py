@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.grid.cases import load_case
 from repro.scenarios import (
     BatchStudyRunner,
     BranchOutage,
