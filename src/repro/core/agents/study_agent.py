@@ -47,10 +47,13 @@ You are an expert power-system study agent for batch operating-point
 analysis.  Your capabilities include load sweeps, Monte Carlo load
 ensembles, N-2 outage combination studies, and daily load-profile
 studies over the standard IEEE test cases, each evaluated with power
-flow, DCOPF, ACOPF, or two-stage contingency screening.  Report ensemble
-statistics (violation frequencies, cost percentiles, critical-ranking
-stability), never single-scenario anecdotes, and never fabricate
-numbers; every figure must come from structured study results."""
+flow, DCOPF, ACOPF, two-stage contingency screening, or preventive
+SCOPF (secured cost distributions).  Large ensembles stream through an
+online reducer with incremental progress, so scale is not a reason to
+refuse.  Report ensemble statistics (violation frequencies, cost
+percentiles, critical-ranking stability), never single-scenario
+anecdotes, and never fabricate numbers; every figure must come from
+structured study results."""
 
 
 class LoadSweepArgs(BaseModel):
@@ -64,7 +67,7 @@ class LoadSweepArgs(BaseModel):
 
 class MonteCarloArgs(BaseModel):
     case_name: str = Field(description="IEEE case identifier, e.g. 'ieee118'")
-    n_scenarios: int = Field(default=200, ge=1, le=5000)
+    n_scenarios: int = Field(default=200, ge=1, le=20_000)
     sigma_percent: float = Field(default=5.0, ge=0.0, le=100.0)
     seed: int = Field(default=0, ge=0)
     analysis: str = Field(default="powerflow")
@@ -126,7 +129,13 @@ def build_study_registry(
         t0 = time.perf_counter()
         net = context.activate_case(case_name)
         runner = BatchStudyRunner(analysis=analysis, n_jobs=n_jobs, executor=executor)
-        study = runner.run(net, scenarios)
+        # Results stream through the online reducer chunk by chunk; the
+        # full record list is retained only when a store will persist it.
+        # The no-op callback turns on per-chunk progress accounting, so
+        # the payload (and narration) report the streaming checkpoints.
+        study = runner.run(
+            net, scenarios, progress=lambda _p: None, keep_results=store is not None
+        )
         payload = study.to_dict(max_scenarios=5)
         payload["study_kind"] = kind
         if store is not None:

@@ -7,10 +7,13 @@ not available offline; the interaction loop is identical.  Run with::
     gridmind --model claude-4-sonnet --seed 7
 
 The ``study`` subcommand runs declarative scenario studies directly
-against the batch engine (no chat loop)::
+against the batch engine (no chat loop).  Studies stream: scenarios
+expand lazily, chunks fold into the online reducer as they complete, and
+``--progress`` (implied on a TTY) renders live delivery::
 
-    gridmind study --case ieee118 --kind monte-carlo -n 200 --jobs 4
+    gridmind study --case ieee118 --kind monte-carlo -n 10000 --jobs 4
     gridmind study --case ieee57 --kind sweep --lo 80 --hi 120 --analysis acopf
+    gridmind study --case ieee14 --kind lhs -n 500 --analysis scopf
 
 The ``serve`` subcommand starts the async multi-session service: one
 :class:`~repro.service.GridMindService` multiplexing named conversations
@@ -89,7 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--case", required=True, help="case name, e.g. ieee118")
     study.add_argument(
         "--kind",
-        choices=("sweep", "monte-carlo", "outage", "profile"),
+        choices=("sweep", "monte-carlo", "lhs", "outage", "profile"),
         default="monte-carlo",
     )
     study.add_argument(
@@ -103,10 +106,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     study.add_argument(
         "--analysis",
-        choices=("powerflow", "dcopf", "acopf", "screening"),
+        choices=("powerflow", "dcopf", "acopf", "screening", "scopf"),
         default="powerflow",
     )
     study.add_argument("--jobs", type=int, default=1, help="worker processes")
+    study.add_argument(
+        "--progress",
+        action="store_true",
+        help="print live per-chunk progress to stderr (implied on a TTY)",
+    )
+    study.add_argument(
+        "--keep-results",
+        action="store_true",
+        help="materialise every per-scenario record instead of streaming "
+        "(higher memory; the summary is identical either way)",
+    )
     study.add_argument("--lo", type=float, default=80.0, help="sweep low, %% of base")
     study.add_argument("--hi", type=float, default=120.0, help="sweep high, %% of base")
     study.add_argument(
@@ -170,41 +184,65 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _build_study_scenarios(args):
     from ..grid.cases import load_case
-    from ..scenarios import (
-        daily_profile,
-        load_sweep,
-        monte_carlo_ensemble,
-        outage_combinations,
-    )
+    from ..scenarios import expand_study_kind
 
     if args.scenarios is not None and args.scenarios < 1:
         raise ValueError(f"-n/--scenarios must be >= 1, got {args.scenarios}")
     net = load_case(args.case)
-    if args.kind == "sweep":
-        scenarios = load_sweep(
-            args.lo / 100.0, args.hi / 100.0, args.scenarios or 9
-        )
-    elif args.kind == "profile":
-        scenarios = daily_profile(steps=args.scenarios or 24)
-    elif args.kind == "outage":
-        scenarios = outage_combinations(
-            net, depth=args.depth, limit=args.scenarios or 50
-        )
-    else:
-        scenarios = monte_carlo_ensemble(
-            n=args.scenarios or 200, sigma=args.sigma / 100.0, seed=args.seed
-        )
+    scenarios = expand_study_kind(
+        args.kind,
+        net,
+        n_scenarios=args.scenarios,
+        lo_percent=args.lo,
+        hi_percent=args.hi,
+        sigma_percent=args.sigma,
+        seed=args.seed,
+        depth=args.depth,
+    )
     return net, scenarios
 
 
+def _progress_printer(stream):
+    """Live per-chunk progress line (carriage-return updates on a TTY)."""
+    tty = _supports_color(stream)
+
+    def show(p) -> None:
+        if p.n_total:
+            head = f"{p.n_done}/{p.n_total} ({100.0 * p.fraction:.0f}%)"
+        else:
+            head = f"{p.n_done} scenarios"
+        line = (
+            f"[gridmind] {head} | converged {p.n_converged} | "
+            f"violations {100.0 * p.violation_rate:.0f}% | {p.elapsed_s:.1f}s"
+        )
+        if tty:
+            print(f"\r{line}", end="", flush=True, file=stream)
+            if p.n_total and p.n_done >= p.n_total:
+                print(file=stream)
+        else:
+            print(line, file=stream)
+
+    return show
+
+
 def run_study(args) -> int:
-    """Execute the ``study`` subcommand against the batch engine."""
+    """Execute the ``study`` subcommand against the batch engine.
+
+    The study streams: scenarios expand lazily, completed chunks fold
+    into the online reducer, and ``--progress`` (implied on a TTY)
+    narrates delivery live instead of waiting for the final table.
+    """
     from ..scenarios import BatchStudyRunner
 
+    progress = None
+    if args.progress or _supports_color(sys.stderr):
+        progress = _progress_printer(sys.stderr)
     try:
         net, scenarios = _build_study_scenarios(args)
         runner = BatchStudyRunner(analysis=args.analysis, n_jobs=args.jobs)
-        study = runner.run(net, scenarios)
+        study = runner.run(
+            net, scenarios, progress=progress, keep_results=args.keep_results
+        )
     except (KeyError, ValueError) as exc:
         # Domain errors (unknown case, bad ranges) are user input problems:
         # report them like argparse does instead of dumping a traceback.
@@ -230,6 +268,7 @@ def run_study(args) -> int:
     )
     for label, key in (
         ("cost $/h", "cost_stats"),
+        ("security $/h", "security_cost_stats"),
         ("peak loading %", "loading_stats"),
         ("min voltage pu", "min_voltage_stats"),
     ):

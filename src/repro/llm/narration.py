@@ -136,6 +136,7 @@ _STUDY_KIND_LABELS = {
     "load_sweep": "load sweep",
     "sweep": "load sweep",
     "monte_carlo": "Monte Carlo load",
+    "lhs": "Latin-hypercube load",
     "outage": "outage combination",
     "daily_profile": "daily load-profile",
     "profile": "daily load-profile",
@@ -173,6 +174,12 @@ def narrate_study(res: dict, verbosity: int) -> str:
             f"Peak branch loading: median {loading['p50']:.1f}%, "
             f"p95 {loading['p95']:.1f}%, worst {loading['max']:.1f}%."
         )
+    security = agg.get("security_cost_stats")
+    if security:
+        lines.append(
+            f"Security premium (SCOPF over economic dispatch): median "
+            f"{_money(security['p50'])}/h, worst {_money(security['max'])}/h."
+        )
     freq = agg.get("branch_overload_freq") or {}
     if freq:
         worst = list(freq.items())[:3]
@@ -188,6 +195,19 @@ def narrate_study(res: dict, verbosity: int) -> str:
             + ", ".join(str(b) for b in stable)
             + "."
         )
+    n_events = res.get("n_progress_events")
+    if n_events:
+        sketched = any(
+            (agg.get(k) or {}).get("estimator") == "p2"
+            for k in ("cost_stats", "loading_stats", "min_voltage_stats")
+        )
+        bit = (
+            f"Results streamed incrementally ({n_events} progress "
+            f"checkpoint{'s' if n_events != 1 else ''}"
+        )
+        if sketched:
+            bit += "; distribution percentiles via online P2 sketches"
+        lines.append(bit + ").")
     if verbosity >= 2:
         worst_scn = res.get("worst_scenarios") or []
         if worst_scn:

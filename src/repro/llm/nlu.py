@@ -86,6 +86,9 @@ _STUDY_KIND_RES: list[tuple[str, re.Pattern]] = [
 
 #: Analysis-engine keywords -> BatchStudyRunner analysis name.
 _ANALYSIS_RES: list[tuple[str, re.Pattern]] = [
+    # SCOPF first: "security-constrained" must not fall through to the
+    # screening pattern's "critical"/"contingenc" keywords.
+    ("scopf", re.compile(r"\bscopf\b|security[\s-]*constrained|secured\s+(cost|dispatch)", re.I)),
     ("screening", re.compile(r"contingenc|screening|n-?1\b|critical", re.I)),
     ("dcopf", re.compile(r"\bdc\s*-?opf\b|\bdc\s+optimal", re.I)),
     ("acopf", re.compile(r"\bac\s*-?opf\b|acopf|optimal\s+power\s+flow|dispatch|cost", re.I)),

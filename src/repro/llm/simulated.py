@@ -425,16 +425,20 @@ class SimulatedLLM:
             "analyze_specific_contingency": "Simulating the requested outage.",
             "apply_branch_outage": "Removing the branch from service in the model.",
             "run_load_sweep_study": (
-                "Expanding the load sweep into scenarios and running the batch."
+                "Expanding the load sweep lazily and streaming the batch "
+                "through the online reducer."
             ),
             "run_monte_carlo_study": (
-                "Drawing the Monte Carlo ensemble and dispatching the batch runner."
+                "Streaming the Monte Carlo ensemble through the batch "
+                "runner with incremental aggregation."
             ),
             "run_outage_study": (
-                "Enumerating outage combinations and running the batch study."
+                "Enumerating outage combinations lazily and streaming the "
+                "batch study."
             ),
             "run_daily_profile_study": (
-                "Stepping through the daily load profile with the batch runner."
+                "Stepping through the daily load profile with the "
+                "streaming batch runner."
             ),
             "compare_studies": (
                 "Retrieving both persisted result sets and diffing their aggregates."

@@ -4,12 +4,17 @@ The study workflow the paper motivates ("adjust load levels, re-solve,
 inspect impacts") made batch-first:
 
 * :mod:`repro.scenarios.spec` — perturbation records and :class:`Scenario`,
-* :mod:`repro.scenarios.generators` — families (sweep, Monte Carlo, N-2
-  combinations, daily profile) expanded from compact descriptions,
+* :mod:`repro.scenarios.stream` — :class:`ScenarioStream`, the lazy
+  re-iterable ensemble representation with per-index child seeds,
+* :mod:`repro.scenarios.generators` — families (sweep, Monte Carlo, LHS,
+  N-2 combinations, daily profile, factorial crosses) expanded lazily
+  from compact descriptions,
 * :mod:`repro.scenarios.runner` — :class:`BatchStudyRunner` with
-  process-pool parallelism and per-worker cache reuse,
-* :mod:`repro.scenarios.aggregate` — ensemble statistics (violation
-  frequencies, cost percentiles, critical-ranking stability).
+  process-pool parallelism, bounded-window streaming dispatch, and
+  per-worker cache reuse,
+* :mod:`repro.scenarios.aggregate` — online :class:`StudyReducer`
+  ensemble statistics (violation frequencies, exact-or-P²-sketched cost
+  percentiles, critical-ranking stability).
 
 Quickstart::
 
@@ -22,9 +27,21 @@ Quickstart::
     print(study.aggregate().to_dict())
 """
 
-from .aggregate import StudyAggregate, aggregate_study, percentile_stats
+from .aggregate import (
+    EXACT_STATS_CAP,
+    P2Quantile,
+    StreamingStats,
+    StudyAggregate,
+    StudyReducer,
+    aggregate_study,
+    percentile_stats,
+)
 from .generators import (
+    STUDY_FAMILY_KINDS,
     daily_profile,
+    expand_study_kind,
+    factorial,
+    latin_hypercube,
     load_sweep,
     monte_carlo_ensemble,
     outage_combinations,
@@ -35,6 +52,7 @@ from .runner import (
     BatchStudyRunner,
     ScenarioResult,
     StudyConfig,
+    StudyProgress,
     StudyResult,
 )
 from .spec import (
@@ -48,28 +66,42 @@ from .spec import (
     ScenarioError,
     UniformLoadScale,
 )
+from .stream import ScenarioStream, as_stream, child_seed, stream_length
 
 __all__ = [
     "ANALYSES",
+    "EXACT_STATS_CAP",
     "BatchStudyRunner",
     "BranchOutage",
     "GaussianLoadNoise",
     "GeneratorOutage",
+    "P2Quantile",
     "PerBusLoadScale",
     "Perturbation",
     "RenewableInjection",
     "Scenario",
     "ScenarioError",
     "ScenarioResult",
+    "ScenarioStream",
+    "STUDY_FAMILY_KINDS",
+    "StreamingStats",
     "StudyAggregate",
     "StudyConfig",
+    "StudyProgress",
+    "StudyReducer",
     "StudyResult",
     "UniformLoadScale",
     "aggregate_study",
+    "as_stream",
+    "child_seed",
     "daily_profile",
+    "expand_study_kind",
+    "factorial",
+    "latin_hypercube",
     "load_sweep",
     "monte_carlo_ensemble",
     "outage_combinations",
     "percentile_stats",
+    "stream_length",
     "with_branch_outage",
 ]

@@ -1,33 +1,211 @@
-"""Ensemble aggregation: turn per-scenario results into study-level facts.
+"""Ensemble aggregation: online reduction of per-scenario results.
 
 The batch runner produces one lightweight :class:`ScenarioResult` per
 operating point; this module reduces the ensemble to the quantities a
 study actually asks for — how often limits are violated, how the cost and
 loading distributions look, and how stable the critical-contingency
 ranking is across the perturbed operating points.
+
+The reduction is *streaming*: :class:`StudyReducer` consumes results one
+chunk at a time (what the runner's bounded-window dispatch feeds it) and
+never holds the ensemble.  Counters and rates are exact at any size.
+Distribution statistics are exact while the sample fits the buffer cap
+(``np.percentile`` over the buffered values — bit-identical to the
+historical list-based aggregation) and switch to P²-style streaming
+percentile sketches above it; the active estimator is recorded in every
+stats dict (``"estimator": "exact" | "p2"``) so consumers can tell which
+guarantee they got.  Because the switch depends only on the sample count
+and insertion order — both identical between serial, pooled, and
+streamed execution — all three paths still produce bit-identical
+aggregates.
+
+``aggregate_study(list)`` remains as a thin wrapper over the reducer for
+existing callers and stored result sets.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Iterable
+
+#: Sample-count cap for exact percentile buffering; above it the stats
+#: switch to P² sketches.  The cap bounds reducer memory at ~3 float
+#: buffers of this size regardless of ensemble size.
+EXACT_STATS_CAP = 2048
 
 
-def percentile_stats(values: list[float]) -> dict | None:
+class P2Quantile:
+    """Single-quantile P² estimator (Jain & Chlamtac, CACM 1985).
+
+    Five markers track (min, p/2, p, (1+p)/2, max); each observation
+    nudges the middle markers toward their desired positions with a
+    piecewise-parabolic height update.  O(1) memory and per-observation
+    work, typical relative error well under 1 % on 10k+ unimodal samples
+    (asserted by the test suite on a 10k-draw Monte Carlo).
+    """
+
+    __slots__ = ("p", "_heights", "_positions", "_desired", "_increments")
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {p}")
+        self.p = p
+        self._heights: list[float] = []  # marker values, sorted
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+    def add(self, x: float) -> None:
+        h = self._heights
+        if len(h) < 5:
+            h.append(x)
+            h.sort()
+            return
+        # Locate the cell and bump endpoint markers.
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = 0
+            while k < 3 and x >= h[k + 1]:
+                k += 1
+        pos = self._positions
+        for i in range(k + 1, 5):
+            pos[i] += 1.0
+        des = self._desired
+        for i in range(5):
+            des[i] += self._increments[i]
+        # Adjust the three middle markers toward their desired positions.
+        for i in (1, 2, 3):
+            d = des[i] - pos[i]
+            if (d >= 1.0 and pos[i + 1] - pos[i] > 1.0) or (
+                d <= -1.0 and pos[i - 1] - pos[i] < -1.0
+            ):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, step)
+                pos[i] += step
+
+    def _parabolic(self, i: int, d: float) -> float:
+        h, pos = self._heights, self._positions
+        return h[i] + d / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + d) * (h[i + 1] - h[i]) / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - d) * (h[i] - h[i - 1]) / (pos[i] - pos[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        h, pos = self._heights, self._positions
+        j = i + int(d)
+        return h[i] + d * (h[j] - h[i]) / (pos[j] - pos[i])
+
+    def value(self) -> float:
+        """Current quantile estimate (exact below 5 observations)."""
+        h = self._heights
+        if not h:
+            raise ValueError("P2Quantile.value() on an empty estimator")
+        if len(h) < 5:
+            # Too few observations to place markers: nearest-rank fallback.
+            rank = min(len(h) - 1, max(0, round(self.p * (len(h) - 1))))
+            return sorted(h)[rank]
+        return h[2]
+
+
+class StreamingStats:
+    """Streaming mean / p05 / p50 / p95 / min / max over one value stream.
+
+    Buffers values for exact percentiles up to ``exact_cap`` observations,
+    then replays the buffer into three :class:`P2Quantile` sketches and
+    streams from there (O(1) memory).  Count, mean, min, and max stay
+    exact in both regimes.
+    """
+
+    PERCENTILES = (("p05", 0.05), ("p50", 0.50), ("p95", 0.95))
+
+    def __init__(self, exact_cap: int = EXACT_STATS_CAP) -> None:
+        self.exact_cap = max(5, int(exact_cap))
+        self.count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._buffer: list[float] | None = []
+        self._sketches: dict[str, P2Quantile] | None = None
+
+    @property
+    def sketched(self) -> bool:
+        return self._sketches is not None
+
+    def add(self, x: float) -> None:
+        x = float(x)
+        self.count += 1
+        self._sum += x
+        if x < self._min:
+            self._min = x
+        if x > self._max:
+            self._max = x
+        if self._buffer is not None:
+            self._buffer.append(x)
+            if len(self._buffer) > self.exact_cap:
+                self._spill()
+        else:
+            for sketch in self._sketches.values():  # type: ignore[union-attr]
+                sketch.add(x)
+
+    def _spill(self) -> None:
+        """Switch from exact buffering to P² sketches (order-preserving)."""
+        self._sketches = {name: P2Quantile(q) for name, q in self.PERCENTILES}
+        for x in self._buffer:  # type: ignore[union-attr]
+            for sketch in self._sketches.values():
+                sketch.add(x)
+        self._buffer = None
+
+    def to_dict(self) -> dict | None:
+        """Stats payload (``None`` when no values were observed).
+
+        Exact mode reproduces the historical ``np.percentile`` numbers
+        bit-for-bit; sketch mode reports P² estimates and flags itself
+        via ``"estimator": "p2"``.
+        """
+        if self.count == 0:
+            return None
+        if self._buffer is not None:
+            import numpy as np
+
+            arr = np.asarray(self._buffer, dtype=float)
+            return {
+                "mean": float(arr.mean()),
+                "p05": float(np.percentile(arr, 5)),
+                "p50": float(np.percentile(arr, 50)),
+                "p95": float(np.percentile(arr, 95)),
+                "min": float(arr.min()),
+                "max": float(arr.max()),
+                "estimator": "exact",
+            }
+        out = {name: sketch.value() for name, sketch in self._sketches.items()}
+        out.update(
+            mean=self._sum / self.count,
+            min=self._min,
+            max=self._max,
+            estimator="p2",
+        )
+        # Key order matches exact mode for stable JSON diffs.
+        return {k: out[k] for k in ("mean", "p05", "p50", "p95", "min", "max", "estimator")}
+
+
+def percentile_stats(
+    values: list[float], exact_cap: int = EXACT_STATS_CAP
+) -> dict | None:
     """mean / p5 / p50 / p95 / min / max over ``values`` (None when empty)."""
-    import numpy as np
-
-    if not values:
-        return None
-    arr = np.asarray(values, dtype=float)
-    return {
-        "mean": float(arr.mean()),
-        "p05": float(np.percentile(arr, 5)),
-        "p50": float(np.percentile(arr, 50)),
-        "p95": float(np.percentile(arr, 95)),
-        "min": float(arr.min()),
-        "max": float(arr.max()),
-    }
+    stats = StreamingStats(exact_cap)
+    for v in values:
+        stats.add(v)
+    return stats.to_dict()
 
 
 @dataclass
@@ -44,6 +222,7 @@ class StudyAggregate:
     cost_stats: dict | None = None
     loading_stats: dict | None = None
     min_voltage_stats: dict | None = None
+    security_cost_stats: dict | None = None  # SCOPF premium over economic
     rank_stability: dict[int, float] = field(default_factory=dict)
     stable_critical: list[int] = field(default_factory=list)
 
@@ -62,6 +241,8 @@ class StudyAggregate:
             "loading_stats": self.loading_stats,
             "min_voltage_stats": self.min_voltage_stats,
         }
+        if self.security_cost_stats is not None:
+            out["security_cost_stats"] = self.security_cost_stats
         if self.rank_stability:
             out["rank_stability"] = {
                 str(b): round(f, 4) for b, f in self.rank_stability.items()
@@ -70,63 +251,122 @@ class StudyAggregate:
         return out
 
 
-def aggregate_study(results: list) -> StudyAggregate:
-    """Reduce a list of :class:`~repro.scenarios.runner.ScenarioResult`.
+class StudyReducer:
+    """Online ensemble reducer: feed :class:`ScenarioResult`s, read the
+    same :class:`StudyAggregate` the list-based aggregation produced.
 
     Rates are over *converged* scenarios (a diverged power flow says
     nothing about limit violations); convergence itself is reported
-    separately as ``n_converged`` / ``n_errors``.
+    separately as ``n_converged`` / ``n_errors``.  All counters update in
+    O(1) per result; distribution stats stream through
+    :class:`StreamingStats`, so total reducer memory is bounded by the
+    exact-percentile cap — never by the ensemble size.
     """
-    n = len(results)
-    converged = [r for r in results if r.converged]
-    nc = len(converged)
 
-    overloaded = [r for r in converged if r.overloaded_branches]
-    volts = [r for r in converged if r.n_voltage_violations > 0]
-    either = [
-        r for r in converged if r.overloaded_branches or r.n_voltage_violations > 0
-    ]
+    def __init__(self, *, exact_cap: int = EXACT_STATS_CAP) -> None:
+        self.n = 0
+        self.n_converged = 0
+        self.n_errors = 0
+        self.n_overloaded = 0
+        self.n_voltage = 0
+        self.n_either = 0
+        self.n_listed = 0  # scenarios reporting a critical-branch list
+        self.branch_hits: Counter[int] = Counter()
+        self.crit_hits: Counter[int] = Counter()
+        self.cost = StreamingStats(exact_cap)
+        self.loading = StreamingStats(exact_cap)
+        self.min_voltage = StreamingStats(exact_cap)
+        self.security_cost = StreamingStats(exact_cap)
 
-    branch_hits: Counter[int] = Counter()
-    for r in converged:
-        for bid in set(r.overloaded_branches):
-            branch_hits[bid] += 1
-    branch_freq = {
-        int(b): cnt / nc for b, cnt in sorted(branch_hits.items(), key=lambda kv: -kv[1])
-    }
+    # ------------------------------------------------------------------
+    def add(self, r) -> None:
+        """Fold one :class:`~repro.scenarios.runner.ScenarioResult` in."""
+        self.n += 1
+        if r.error:
+            self.n_errors += 1
+        if not r.converged:
+            return
+        self.n_converged += 1
+        overloaded = bool(r.overloaded_branches)
+        volts = r.n_voltage_violations > 0
+        if overloaded:
+            self.n_overloaded += 1
+            for bid in set(r.overloaded_branches):
+                self.branch_hits[bid] += 1
+        if volts:
+            self.n_voltage += 1
+        if overloaded or volts:
+            self.n_either += 1
+        if r.critical_branches is not None:
+            self.n_listed += 1
+            for bid in set(r.critical_branches):
+                self.crit_hits[bid] += 1
+        if r.objective_cost is not None:
+            self.cost.add(r.objective_cost)
+        self.loading.add(r.max_loading_percent)
+        if r.min_voltage_pu is not None:
+            self.min_voltage.add(r.min_voltage_pu)
+        security = getattr(r, "security_cost", None)
+        if security is not None:
+            self.security_cost.add(security)
 
-    costs = [r.objective_cost for r in converged if r.objective_cost is not None]
-    loadings = [r.max_loading_percent for r in converged]
-    min_vs = [r.min_voltage_pu for r in converged if r.min_voltage_pu is not None]
+    def add_many(self, results: Iterable) -> None:
+        for r in results:
+            self.add(r)
 
-    # Critical-contingency rank stability: how often each branch shows up
-    # in a scenario's critical list across the ensemble.
-    listed = [r for r in converged if r.critical_branches is not None]
-    crit_hits: Counter[int] = Counter()
-    for r in listed:
-        for bid in set(r.critical_branches):
-            crit_hits[bid] += 1
-    stability = (
-        {
-            int(b): cnt / len(listed)
-            for b, cnt in sorted(crit_hits.items(), key=lambda kv: (-kv[1], kv[0]))
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Cheap mid-study counters for progress reporting."""
+        nc = self.n_converged
+        return {
+            "n_done": self.n,
+            "n_converged": nc,
+            "n_errors": self.n_errors,
+            "violation_rate": self.n_either / nc if nc else 0.0,
         }
-        if listed
-        else {}
-    )
-    stable = [b for b, f in stability.items() if f >= 0.5]
 
-    return StudyAggregate(
-        n_scenarios=n,
-        n_converged=nc,
-        n_errors=sum(1 for r in results if r.error),
-        overload_rate=len(overloaded) / nc if nc else 0.0,
-        voltage_violation_rate=len(volts) / nc if nc else 0.0,
-        violation_rate=len(either) / nc if nc else 0.0,
-        branch_overload_freq=branch_freq,
-        cost_stats=percentile_stats(costs),
-        loading_stats=percentile_stats(loadings),
-        min_voltage_stats=percentile_stats(min_vs),
-        rank_stability=stability,
-        stable_critical=stable,
-    )
+    def result(self) -> StudyAggregate:
+        """The aggregate over everything folded in so far."""
+        nc = self.n_converged
+        branch_freq = {
+            int(b): cnt / nc
+            for b, cnt in sorted(self.branch_hits.items(), key=lambda kv: -kv[1])
+        }
+        stability = (
+            {
+                int(b): cnt / self.n_listed
+                for b, cnt in sorted(
+                    self.crit_hits.items(), key=lambda kv: (-kv[1], kv[0])
+                )
+            }
+            if self.n_listed
+            else {}
+        )
+        return StudyAggregate(
+            n_scenarios=self.n,
+            n_converged=nc,
+            n_errors=self.n_errors,
+            overload_rate=self.n_overloaded / nc if nc else 0.0,
+            voltage_violation_rate=self.n_voltage / nc if nc else 0.0,
+            violation_rate=self.n_either / nc if nc else 0.0,
+            branch_overload_freq=branch_freq,
+            cost_stats=self.cost.to_dict(),
+            loading_stats=self.loading.to_dict(),
+            min_voltage_stats=self.min_voltage.to_dict(),
+            security_cost_stats=self.security_cost.to_dict(),
+            rank_stability=stability,
+            stable_critical=[b for b, f in stability.items() if f >= 0.5],
+        )
+
+
+def aggregate_study(results: list, *, exact_cap: int = EXACT_STATS_CAP) -> StudyAggregate:
+    """Reduce a list of :class:`~repro.scenarios.runner.ScenarioResult`.
+
+    Thin wrapper over :class:`StudyReducer`, kept for every caller that
+    still holds a materialised result list (stored result sets, tests,
+    comparisons); the streamed and list-based reductions are the same
+    code path by construction.
+    """
+    reducer = StudyReducer(exact_cap=exact_cap)
+    reducer.add_many(results)
+    return reducer.result()

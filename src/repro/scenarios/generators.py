@@ -1,57 +1,109 @@
-"""Scenario family generators: compact study descriptions -> concrete lists.
+"""Scenario family generators: compact study descriptions -> lazy streams.
 
 Each generator expands a few parameters into the N scenarios a study
-needs, with deterministic naming and tagging.  Stochastic families derive
-one child seed per scenario from the family seed, so the ensemble is
-reproducible and independent of execution order (serial, chunked, or
-process-parallel).
+needs, with deterministic naming and tagging.  Families are emitted as
+:class:`~repro.scenarios.stream.ScenarioStream` — re-iterable lazy
+iterables with a known length where one exists — so a 10k-draw ensemble
+never materialises as a list unless a caller explicitly asks
+(``stream.materialize()``).  Stochastic families derive one child seed
+per scenario *index* from the family seed (:func:`~repro.scenarios
+.stream.child_seed`), so the ensemble is reproducible and independent of
+execution order (serial, chunked, process-parallel, or streamed).
 """
 
 from __future__ import annotations
 
 import itertools
 import math
+from typing import Iterable, Iterator
 
 import numpy as np
 
 from ..grid.network import Network
 from .spec import BranchOutage, GaussianLoadNoise, Scenario, UniformLoadScale
+from .stream import ScenarioStream, as_stream, child_seed, stream_length
 
 
-def load_sweep(lo: float = 0.8, hi: float = 1.2, steps: int = 9) -> list[Scenario]:
+def load_sweep(lo: float = 0.8, hi: float = 1.2, steps: int = 9) -> ScenarioStream:
     """Uniform load scaling swept over ``steps`` points in [lo, hi]."""
     if steps < 2:
         raise ValueError(f"a sweep needs at least 2 steps, got {steps}")
     if lo < 0 or hi < lo:
         raise ValueError(f"invalid sweep range [{lo}, {hi}]")
-    factors = np.linspace(lo, hi, steps)
-    return [
-        Scenario(
-            name=f"sweep_{int(round(f * 100)):03d}",
-            perturbations=(UniformLoadScale(float(f)),),
-            tags={"family": "sweep", "scale": float(f), "index": i},
-        )
-        for i, f in enumerate(factors)
-    ]
+
+    def gen() -> Iterator[Scenario]:
+        for i, f in enumerate(np.linspace(lo, hi, steps)):
+            yield Scenario(
+                name=f"sweep_{int(round(f * 100)):03d}",
+                perturbations=(UniformLoadScale(float(f)),),
+                tags={"family": "sweep", "scale": float(f), "index": i},
+            )
+
+    return ScenarioStream(gen, length=steps, family="sweep")
 
 
 def monte_carlo_ensemble(
     n: int = 200, sigma: float = 0.05, seed: int = 0
-) -> list[Scenario]:
-    """``n`` independent Gaussian load draws around the base point."""
+) -> ScenarioStream:
+    """``n`` independent Gaussian load draws around the base point.
+
+    Child seeds are hash-derived per draw index, so draw ``i`` realises
+    the same network whether the ensemble has 10 or 10 000 members and
+    wherever in the stream it is consumed.
+    """
     if n < 1:
         raise ValueError(f"ensemble size must be >= 1, got {n}")
-    # One child seed per draw, derived once from the family seed.
-    child_seeds = np.random.default_rng(seed).integers(0, 2**31 - 1, size=n)
     width = max(3, len(str(n - 1)))
-    return [
-        Scenario(
-            name=f"mc_{i:0{width}d}",
-            perturbations=(GaussianLoadNoise(float(sigma), int(child_seeds[i])),),
-            tags={"family": "monte_carlo", "draw": i, "seed": int(child_seeds[i]), "index": i},
-        )
-        for i in range(n)
-    ]
+
+    def gen() -> Iterator[Scenario]:
+        for i in range(n):
+            cseed = child_seed(seed, i)
+            yield Scenario(
+                name=f"mc_{i:0{width}d}",
+                perturbations=(GaussianLoadNoise(float(sigma), cseed),),
+                tags={"family": "monte_carlo", "draw": i, "seed": cseed, "index": i},
+            )
+
+    return ScenarioStream(gen, length=n, family="monte_carlo")
+
+
+def latin_hypercube(
+    n: int = 100, lo: float = 0.8, hi: float = 1.2, seed: int = 0
+) -> ScenarioStream:
+    """Latin-hypercube load sampling: one draw per stratum of [lo, hi].
+
+    Divides the scale range into ``n`` equal strata, draws one uniform
+    sample inside each, and shuffles the stratum order — space-filling
+    coverage a plain Monte Carlo ensemble only approaches at much larger
+    N.  Deterministic in ``seed``; emitted lazily with ``family``/
+    ``index`` tags like every other family.
+    """
+    if n < 1:
+        raise ValueError(f"sample count must be >= 1, got {n}")
+    if lo < 0 or hi < lo:
+        raise ValueError(f"invalid sampling range [{lo}, {hi}]")
+    width = max(3, len(str(n - 1)))
+
+    def gen() -> Iterator[Scenario]:
+        # One small vectorised draw up front (2n floats), scenarios lazy.
+        rng = np.random.default_rng(seed)
+        strata = rng.permutation(n)
+        offsets = rng.random(n)
+        span = hi - lo
+        for i in range(n):
+            factor = lo + span * (float(strata[i]) + float(offsets[i])) / n
+            yield Scenario(
+                name=f"lhs_{i:0{width}d}",
+                perturbations=(UniformLoadScale(round(factor, 9)),),
+                tags={
+                    "family": "lhs",
+                    "index": i,
+                    "scale": factor,
+                    "stratum": int(strata[i]),
+                },
+            )
+
+    return ScenarioStream(gen, length=n, family="lhs")
 
 
 def outage_combinations(
@@ -60,37 +112,36 @@ def outage_combinations(
     depth: int = 2,
     limit: int | None = None,
     branch_ids: list[int] | None = None,
-) -> list[Scenario]:
+) -> ScenarioStream:
     """N-k outage scenarios: every ``depth``-element combination of branches.
 
     The combination count explodes quickly (118-bus N-2 is ~15k pairs), so
     ``limit`` caps the expansion; combinations are enumerated in a fixed
-    lexicographic order, so a capped study is a deterministic prefix.
+    lexicographic order, so a capped study is a deterministic prefix —
+    and the stream never holds more than one combination at a time.
     """
     if depth < 1:
         raise ValueError(f"outage depth must be >= 1, got {depth}")
     candidates = branch_ids if branch_ids is not None else net.in_service_branch_ids()
-    scenarios = []
-    for combo in itertools.combinations(candidates, depth):
-        scenarios.append(
-            Scenario(
+    total = math.comb(len(candidates), depth)
+    if limit is not None:
+        total = min(total, limit)
+
+    def gen() -> Iterator[Scenario]:
+        combos = itertools.combinations(candidates, depth)
+        for i, combo in enumerate(itertools.islice(combos, total)):
+            yield Scenario(
                 name="out_" + "_".join(str(b) for b in combo),
                 perturbations=tuple(BranchOutage(b) for b in combo),
-                tags={
-                    "family": "outage",
-                    "branches": list(combo),
-                    "index": len(scenarios),
-                },
+                tags={"family": "outage", "branches": list(combo), "index": i},
             )
-        )
-        if limit is not None and len(scenarios) >= limit:
-            break
-    return scenarios
+
+    return ScenarioStream(gen, length=total, family="outage")
 
 
 def daily_profile(
     steps: int = 24, trough: float = 0.65, peak: float = 1.0
-) -> list[Scenario]:
+) -> ScenarioStream:
     """A daily load curve: cosine shape with a 4 am trough and 4 pm peak.
 
     ``steps`` samples one day uniformly (24 -> hourly); each step scales
@@ -100,28 +151,117 @@ def daily_profile(
         raise ValueError(f"profile needs at least 1 step, got {steps}")
     if trough < 0 or peak < trough:
         raise ValueError(f"invalid profile band [{trough}, {peak}]")
-    scenarios = []
-    for i in range(steps):
-        hour = 24.0 * i / steps
-        shape = 0.5 * (1.0 - math.cos(2.0 * math.pi * (hour - 4.0) / 24.0))
-        factor = trough + (peak - trough) * shape
-        scenarios.append(
-            Scenario(
+
+    def gen() -> Iterator[Scenario]:
+        for i in range(steps):
+            hour = 24.0 * i / steps
+            shape = 0.5 * (1.0 - math.cos(2.0 * math.pi * (hour - 4.0) / 24.0))
+            factor = trough + (peak - trough) * shape
+            yield Scenario(
                 name=f"hour_{hour:04.1f}".replace(".", "h"),
                 perturbations=(UniformLoadScale(round(factor, 6)),),
                 tags={"family": "profile", "hour": hour, "scale": factor, "index": i},
             )
-        )
-    return scenarios
+
+    return ScenarioStream(gen, length=steps, family="profile")
 
 
-def with_branch_outage(scenarios: list[Scenario], branch_id: int) -> list[Scenario]:
+def with_branch_outage(
+    scenarios: Iterable[Scenario], branch_id: int
+) -> ScenarioStream:
     """Cross an existing family with a fixed branch outage (study composition)."""
-    return [
-        Scenario(
-            name=f"{s.name}_out{branch_id}",
-            perturbations=(*s.perturbations, BranchOutage(branch_id)),
-            tags={**s.tags, "outage_branch": branch_id},
+    source = as_stream(scenarios)
+
+    def gen() -> Iterator[Scenario]:
+        for s in source:
+            yield Scenario(
+                name=f"{s.name}_out{branch_id}",
+                perturbations=(*s.perturbations, BranchOutage(branch_id)),
+                tags={**s.tags, "outage_branch": branch_id},
+            )
+
+    return ScenarioStream(gen, length=source.length, family=source.family)
+
+
+#: Families :func:`expand_study_kind` can build from a flat request.
+STUDY_FAMILY_KINDS = ("sweep", "monte_carlo", "lhs", "outage", "profile")
+
+
+def expand_study_kind(
+    kind: str,
+    net: Network,
+    *,
+    n_scenarios: int | None = None,
+    lo_percent: float = 80.0,
+    hi_percent: float = 120.0,
+    sigma_percent: float = 5.0,
+    seed: int = 0,
+    depth: int = 2,
+) -> ScenarioStream:
+    """One study-kind -> scenario-stream factory for every front end.
+
+    The CLI ``study`` subcommand, the service's ``StudyRequest``
+    expansion, and any future transport all describe a family the same
+    flat way (kind + percent-scaled knobs); this is the single place
+    that mapping lives.  ``n_scenarios`` means draws (monte_carlo/lhs),
+    steps (sweep/profile), or the combination cap (outage), matching
+    each family's natural count.
+    """
+    kind = kind.replace("-", "_")
+    if kind == "sweep":
+        return load_sweep(lo_percent / 100.0, hi_percent / 100.0, n_scenarios or 9)
+    if kind == "profile":
+        return daily_profile(steps=n_scenarios or 24)
+    if kind == "outage":
+        return outage_combinations(net, depth=depth, limit=n_scenarios or 50)
+    if kind == "lhs":
+        return latin_hypercube(
+            n=n_scenarios or 100,
+            lo=lo_percent / 100.0,
+            hi=hi_percent / 100.0,
+            seed=seed,
         )
-        for s in scenarios
-    ]
+    if kind == "monte_carlo":
+        return monte_carlo_ensemble(
+            n=n_scenarios or 200, sigma=sigma_percent / 100.0, seed=seed
+        )
+    raise ValueError(
+        f"unknown study kind {kind!r}; use one of {STUDY_FAMILY_KINDS}"
+    )
+
+
+def factorial(*families: Iterable[Scenario]) -> ScenarioStream:
+    """Full-factorial cross of any scenario families' perturbation tuples.
+
+    Every combination concatenates one scenario from each family (in
+    argument order) into a single operating point: names join with ``"x"``,
+    perturbations concatenate, and tags merge (later families win on
+    collisions) under fresh ``family="factorial"`` / ``index`` coordinates.
+    The cross product is enumerated lazily — ``factorial(sweep, outages)``
+    over a 9-point sweep and 200 outages never holds 1800 scenarios.
+    """
+    if not families:
+        raise ValueError("factorial() needs at least one scenario family")
+    streams = [as_stream(f) for f in families]
+    lengths = [stream_length(s) for s in streams]
+    total: int | None = 1
+    for n in lengths:
+        total = None if (total is None or n is None) else total * n
+
+    def gen() -> Iterator[Scenario]:
+        # itertools.product buffers each input family (small) while the
+        # product itself — the big object — stays lazy.
+        for i, combo in enumerate(itertools.product(*streams)):
+            tags: dict = {}
+            for s in combo:
+                tags.update(s.tags)
+            tags.update({"family": "factorial", "index": i})
+            yield Scenario(
+                name="x".join(s.name for s in combo),
+                perturbations=tuple(
+                    p for s in combo for p in s.perturbations
+                ),
+                tags=tags,
+            )
+
+    return ScenarioStream(gen, length=total, family="factorial")

@@ -1,11 +1,11 @@
-"""BatchStudyRunner: execute a scenario list against one analysis engine.
+"""BatchStudyRunner: execute a scenario stream against one analysis engine.
 
-Each scenario realises a fresh network copy and runs one of four
-analyses: AC power flow, DCOPF, ACOPF, or two-stage contingency
-screening.  Scenarios are independent, so the runner fans chunks out over
-a ``concurrent.futures`` process pool; every worker is initialised once
-with the pickled base network and then amortises the expensive shared
-state across all scenarios it processes:
+Each scenario realises a fresh network copy and runs one of five
+analyses: AC power flow, DCOPF, ACOPF, two-stage contingency screening,
+or preventive SCOPF.  Scenarios are independent, so the runner fans
+chunks out over a ``concurrent.futures`` process pool; every worker is
+initialised once with the pickled base network and then amortises the
+expensive shared state across all scenarios it processes:
 
 * the PTDF/LODF sensitivity factors, keyed by an electrical-topology
   digest (load-only perturbations reuse one factorisation for the whole
@@ -14,17 +14,31 @@ state across all scenarios it processes:
   evaluations are never repeated within a worker.
 
 Results are plain-data :class:`ScenarioResult` records — cheap to pickle
-back — and the chunked dispatch preserves scenario order, so serial and
-parallel runs aggregate identically (a property the test suite asserts).
+back — and the chunked dispatch preserves scenario order, so serial,
+parallel, and streamed runs aggregate identically (a property the test
+suite asserts).
+
+The execution pipeline is *streaming*: chunks are drawn lazily from the
+scenario stream, at most a bounded window of chunks is in flight at once
+(backpressure against the pool), and completed chunks are folded straight
+into an online :class:`~repro.scenarios.aggregate.StudyReducer` plus a
+capped worst-K heap instead of accumulating every result.  ``run(...,
+keep_results=True)`` (the default) still materialises the full result
+list for persistence and bit-identical determinism checks; large
+ensembles opt out and hold O(window x chunk + K) results at peak.
 """
 
 from __future__ import annotations
 
 import hashlib
+import heapq
+import itertools
 import math
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -35,10 +49,21 @@ from ..contingency.ranking import rank_critical_elements
 from ..contingency.screening import screen_dc
 from ..grid import graph as gridgraph
 from ..grid.network import Network
-from .aggregate import StudyAggregate, aggregate_study
+from .aggregate import StudyAggregate, StudyReducer, aggregate_study
 from .spec import Scenario, ScenarioError
+from .stream import as_stream, stream_length
 
-ANALYSES = ("powerflow", "dcopf", "acopf", "screening")
+ANALYSES = ("powerflow", "dcopf", "acopf", "screening", "scopf")
+
+#: Chunk-size ceiling (also the size used when the stream's length is
+#: unknown).  The ~4-chunks-per-worker split is capped here so the
+#: in-flight window's worst-case resident results stay O(window x
+#: constant) however large the ensemble — an uncapped split would make
+#: chunk (and therefore streamed peak memory) scale with n.
+DEFAULT_STREAM_CHUNK = 32
+
+#: Default cap on the worst-scenario heap a streamed study retains.
+DEFAULT_WORST_K = 20
 
 
 @dataclass
@@ -57,6 +82,7 @@ class ScenarioResult:
     n_voltage_violations: int = 0
     critical_branches: list[int] | None = None
     n_contingency_violations: int | None = None
+    security_cost: float | None = None  # SCOPF premium over economic dispatch
     solve_time_s: float = 0.0
     error: str = ""
 
@@ -76,25 +102,108 @@ class ScenarioResult:
             out["critical_branches"] = list(self.critical_branches)
         if self.n_contingency_violations is not None:
             out["n_contingency_violations"] = self.n_contingency_violations
+        if self.security_cost is not None:
+            out["security_cost"] = round(self.security_cost, 2)
         if self.error:
             out["error"] = self.error
         return out
 
 
+@dataclass(frozen=True)
+class StudyProgress:
+    """One incremental checkpoint of a running study (per completed chunk)."""
+
+    n_done: int
+    n_total: int | None  # None when the stream length is unknown
+    n_chunks: int
+    n_converged: int
+    n_errors: int
+    violation_rate: float  # over converged scenarios so far
+    elapsed_s: float
+
+    @property
+    def fraction(self) -> float | None:
+        if not self.n_total:
+            return None
+        return self.n_done / self.n_total
+
+    def to_dict(self) -> dict:
+        out = {
+            "n_done": self.n_done,
+            "n_total": self.n_total,
+            "n_chunks": self.n_chunks,
+            "n_converged": self.n_converged,
+            "n_errors": self.n_errors,
+            "violation_rate": round(self.violation_rate, 4),
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+        if self.fraction is not None:
+            out["fraction"] = round(self.fraction, 4)
+        return out
+
+
+class _WorstK:
+    """Bounded min-heap keeping the K most stressed scenarios.
+
+    Replicates the historical ``sorted(results, key=-loading)[:k]``
+    ordering exactly (ties resolve to earlier scenarios) while holding
+    only K results, so a streamed study's ``worst_scenarios`` slice
+    matches the materialised one for any request ``n <= k``.
+    """
+
+    def __init__(self, k: int) -> None:
+        self.k = max(0, int(k))
+        self._heap: list[tuple[float, int, ScenarioResult]] = []
+        self._seq = 0
+
+    def push(self, result: ScenarioResult) -> None:
+        if self.k == 0:
+            return
+        # Min-heap on (loading, -seq): among equal loadings the *latest*
+        # scenario is evicted first, preserving stable-sort semantics.
+        entry = (result.max_loading_percent, -self._seq, result)
+        self._seq += 1
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+        elif entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def worst(self) -> list[ScenarioResult]:
+        """Most stressed first; ties in original scenario order."""
+        return [
+            r
+            for _, _, r in sorted(self._heap, key=lambda t: (-t[0], -t[1]))
+        ]
+
+
 @dataclass
 class StudyResult:
-    """Everything one batch study produced."""
+    """Everything one batch study produced.
+
+    ``results`` holds the full per-scenario record list when the study
+    ran with ``keep_results=True`` (the default, required for store
+    persistence and exact determinism diffs) and is empty for streamed
+    studies, which retain only the aggregate, the capped worst-K slice
+    (``worst_results``), and the progress/residency instrumentation.
+    """
 
     case_name: str
     analysis: str
     results: list[ScenarioResult]
     runtime_s: float
     n_jobs: int = 1
+    n_scenarios: int = -1  # -1 -> len(results) (set in __post_init__)
+    worst_results: list[ScenarioResult] | None = None
+    n_progress_events: int = 0
+    peak_resident_results: int | None = None
     _aggregate: StudyAggregate | None = field(default=None, repr=False)
 
-    @property
-    def n_scenarios(self) -> int:
-        return len(self.results)
+    def __post_init__(self) -> None:
+        if self.n_scenarios < 0:
+            self.n_scenarios = len(self.results)
 
     def aggregate(self) -> StudyAggregate:
         if self._aggregate is None:
@@ -103,11 +212,13 @@ class StudyResult:
 
     def worst(self, n: int = 5) -> list[ScenarioResult]:
         """Most stressed scenarios first (by post-analysis peak loading)."""
-        return sorted(self.results, key=lambda r: -r.max_loading_percent)[:n]
+        if self.results:
+            return sorted(self.results, key=lambda r: -r.max_loading_percent)[:n]
+        return (self.worst_results or [])[:n]
 
     def to_dict(self, max_scenarios: int = 20) -> dict:
         """JSON-ready study summary (what the agent tools return)."""
-        return {
+        out = {
             "case_name": self.case_name,
             "analysis": self.analysis,
             "n_scenarios": self.n_scenarios,
@@ -116,6 +227,11 @@ class StudyResult:
             "aggregate": self.aggregate().to_dict(),
             "worst_scenarios": [r.to_dict() for r in self.worst(max_scenarios)],
         }
+        if self.n_progress_events:
+            out["n_progress_events"] = self.n_progress_events
+        if self.peak_resident_results is not None:
+            out["peak_resident_results"] = self.peak_resident_results
+        return out
 
 
 @dataclass(frozen=True)
@@ -241,14 +357,9 @@ class _WorkerState:
             n_voltage_violations=len(violations),
         )
 
-    def _run_opf(self, net: Network, scenario: Scenario, solve) -> ScenarioResult:
+    def _reduce_opf(self, scenario: Scenario, res) -> ScenarioResult:
+        """Shared OPF-result reduction (DCOPF / ACOPF / SCOPF master)."""
         cfg = self.config
-        res = solve(net)
-        if not res.converged:
-            return ScenarioResult(
-                name=scenario.name, tags=dict(scenario.tags),
-                converged=False, error=res.message or "OPF did not converge",
-            )
         over_rows = np.flatnonzero(res.loading_percent > cfg.overload_threshold)
         n_volt = int(
             np.count_nonzero((res.vm < cfg.vmin) | (res.vm > cfg.vmax))
@@ -266,6 +377,15 @@ class _WorkerState:
             n_voltage_violations=n_volt,
         )
 
+    def _run_opf(self, net: Network, scenario: Scenario, solve) -> ScenarioResult:
+        res = solve(net)
+        if not res.converged:
+            return ScenarioResult(
+                name=scenario.name, tags=dict(scenario.tags),
+                converged=False, error=res.message or "OPF did not converge",
+            )
+        return self._reduce_opf(scenario, res)
+
     def _run_dcopf(self, net: Network, scenario: Scenario) -> ScenarioResult:
         from ..opf.dcopf import solve_dcopf
 
@@ -275,6 +395,23 @@ class _WorkerState:
         from ..opf.acopf import solve_acopf
 
         return self._run_opf(net, scenario, solve_acopf)
+
+    def _run_scopf(self, net: Network, scenario: Scenario) -> ScenarioResult:
+        """Preventive SCOPF: the study reports *secured* cost distributions."""
+        from ..opf.scopf import solve_scopf
+
+        res = solve_scopf(net)
+        if not res.converged:
+            return ScenarioResult(
+                name=scenario.name, tags=dict(scenario.tags),
+                converged=False,
+                error=res.opf.message or "SCOPF master did not converge",
+            )
+        out = self._reduce_opf(scenario, res.opf)
+        out.security_cost = float(res.security_cost)
+        # Pairs no preventive redispatch can secure — the honest residual.
+        out.n_contingency_violations = len(res.unattainable)
+        return out
 
     def _run_screening(self, net: Network, scenario: Scenario) -> ScenarioResult:
         cfg = self.config
@@ -357,17 +494,60 @@ def _run_chunk(scenarios: list[Scenario]) -> list[ScenarioResult]:
     return [_WORKER.run_scenario(s) for s in scenarios]
 
 
-def chunk_scenarios(
-    scenarios: list[Scenario], n_jobs: int, chunk_size: int | None = None
-) -> list[list[Scenario]]:
-    """Order-preserving dispatch chunks: ~4 per worker unless overridden."""
-    chunk = chunk_size or max(1, math.ceil(len(scenarios) / (max(1, n_jobs) * 4)))
-    return [scenarios[i : i + chunk] for i in range(0, len(scenarios), chunk)]
+def default_chunk_size(total: int | None, n_jobs: int) -> int:
+    """~4 chunks per worker for sized ensembles, capped at the stream stride."""
+    if total is None:
+        return DEFAULT_STREAM_CHUNK
+    return max(1, min(math.ceil(total / (max(1, n_jobs) * 4)), DEFAULT_STREAM_CHUNK))
+
+
+def iter_chunks(
+    scenarios: Iterable[Scenario], chunk: int
+) -> Iterator[list[Scenario]]:
+    """Order-preserving dispatch chunks drawn lazily from the stream."""
+    if chunk < 1:
+        raise ValueError(f"chunk size must be >= 1, got {chunk}")
+    it = iter(scenarios)
+    while batch := list(itertools.islice(it, chunk)):
+        yield batch
+
+
+def windowed_map(
+    submit: Callable[[list[Scenario]], object],
+    chunks: Iterator[list[Scenario]],
+    window: int,
+) -> Iterator[list[ScenarioResult]]:
+    """Submit chunks with at most ``window`` in flight; yield results in order.
+
+    The backpressure loop for the runner's per-run pool path: the
+    scenario stream is advanced only as completed chunks drain, so
+    neither the pending futures nor the undispatched ensemble ever
+    materialise.  (:meth:`repro.service.executor.StudyExecutor
+    .run_study_iter` implements the same discipline inline, where
+    submission must interleave with the shared pool's lock and
+    broken-pool bookkeeping.)
+    """
+    if window < 1:
+        raise ValueError(f"in-flight window must be >= 1, got {window}")
+    pending: deque = deque()
+    try:
+        for chunk in itertools.islice(chunks, window):
+            pending.append(submit(chunk))
+        while pending:
+            results = pending.popleft().result()
+            nxt = next(chunks, None)
+            if nxt is not None:
+                pending.append(submit(nxt))
+            yield results
+    finally:
+        # Early consumer exit must not leave queued chunks running.
+        for future in pending:
+            future.cancel()
 
 
 @dataclass
 class BatchStudyRunner:
-    """Execute scenario lists with optional process-pool parallelism.
+    """Execute scenario streams with optional process-pool parallelism.
 
     ``n_jobs <= 1`` runs in-process through the exact same worker-state
     code path, so parallel and serial studies produce identical results.
@@ -379,6 +559,16 @@ class BatchStudyRunner:
     routed through it instead of spawning a per-``run()`` pool, so
     back-to-back studies amortise worker start-up.  The executor decides
     its own worker count; ``n_jobs`` is ignored on that path.
+
+    Streaming controls:
+
+    * ``window`` — max chunks in flight at once (backpressure; default
+      2x the worker count),
+    * ``worst_k`` — how many most-stressed scenarios a study retains when
+      the full result list is dropped,
+    * ``run(..., keep_results=False)`` — stream-reduce without
+      materialising results; ``run(..., progress=cb)`` — invoke ``cb``
+      with a :class:`StudyProgress` after every completed chunk.
     """
 
     analysis: str = "powerflow"
@@ -390,6 +580,8 @@ class BatchStudyRunner:
     ac_budget: int = 20
     top_n: int = 5
     executor: object | None = None  # shared StudyExecutor (service layer)
+    window: int | None = None  # max in-flight chunks (pool paths)
+    worst_k: int = DEFAULT_WORST_K
 
     def config(self) -> StudyConfig:
         """The validated per-study knob bundle shipped to every worker."""
@@ -406,32 +598,130 @@ class BatchStudyRunner:
             top_n=self.top_n,
         )
 
-    def run(self, base: Network, scenarios: list[Scenario]) -> StudyResult:
+    # ------------------------------------------------------------------
+    def _serial_chunks(
+        self, base: Network, config: StudyConfig, scenarios, chunk: int
+    ) -> Iterator[list[ScenarioResult]]:
+        state = _WorkerState(base.copy(), config)
+        for chunk_scns in iter_chunks(scenarios, chunk):
+            yield [state.run_scenario(s) for s in chunk_scns]
+
+    def _pool_chunks(
+        self,
+        base: Network,
+        config: StudyConfig,
+        scenarios,
+        chunk: int,
+        jobs: int,
+        window: int,
+    ) -> Iterator[list[ScenarioResult]]:
+        with ProcessPoolExecutor(
+            max_workers=jobs, initializer=_init_worker, initargs=(base, config)
+        ) as pool:
+            yield from windowed_map(
+                lambda c: pool.submit(_run_chunk, c),
+                iter_chunks(scenarios, chunk),
+                window,
+            )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        base: Network,
+        scenarios: Iterable[Scenario],
+        *,
+        progress: Callable[[StudyProgress], None] | None = None,
+        keep_results: bool = True,
+    ) -> StudyResult:
         config = self.config()
         start = time.perf_counter()
+        # One-shot iterators are materialised up front (lists and
+        # ScenarioStreams pass through lazily): the stream is re-read
+        # after execution by store persistence (spec hashing), and a
+        # consumed generator would silently hash as an empty study.
+        scenarios = as_stream(scenarios)
+        total = stream_length(scenarios)
 
-        if self.executor is not None and len(scenarios) >= 2:
-            results = self.executor.run_study(
-                base, config, scenarios, chunk_size=self.chunk_size
-            )
+        if self.executor is not None and (total is None or total >= 2):
             jobs = getattr(self.executor, "max_workers", 1)
-        elif self.n_jobs <= 1 or len(scenarios) < 2:
-            state = _WorkerState(base.copy(), config)
-            results = [state.run_scenario(s) for s in scenarios]
+            # Mirror the executor's chunk/window fallbacks so the
+            # residency bound below accounts for its undrained futures.
+            chunk = (
+                self.chunk_size
+                or getattr(self.executor, "chunk_size", None)
+                or default_chunk_size(total, jobs)
+            )
+            window = max(
+                1,
+                self.window or getattr(self.executor, "window", None) or 2 * jobs,
+            )
+            in_flight_extra = (window - 1) * chunk
+            chunk_iter = self.executor.run_study_iter(
+                base, config, scenarios,
+                chunk_size=self.chunk_size, window=self.window,
+            )
+        elif self.n_jobs <= 1 or (total is not None and total < 2):
             jobs = 1
+            chunk = self.chunk_size or default_chunk_size(total, 1)
+            in_flight_extra = 0
+            chunk_iter = self._serial_chunks(base, config, scenarios, chunk)
         else:
-            jobs = min(self.n_jobs, len(scenarios))
-            chunks = chunk_scenarios(scenarios, jobs, self.chunk_size)
-            with ProcessPoolExecutor(
-                max_workers=jobs, initializer=_init_worker, initargs=(base, config)
-            ) as pool:
-                futures = [pool.submit(_run_chunk, c) for c in chunks]
-                results = [r for f in futures for r in f.result()]
+            jobs = self.n_jobs if total is None else min(self.n_jobs, total)
+            chunk = self.chunk_size or default_chunk_size(total, jobs)
+            window = max(1, self.window or 2 * jobs)
+            in_flight_extra = (window - 1) * chunk
+            chunk_iter = self._pool_chunks(
+                base, config, scenarios, chunk, jobs, window
+            )
+
+        reducer = StudyReducer()
+        heap = _WorstK(self.worst_k)
+        kept: list[ScenarioResult] | None = [] if keep_results else None
+        n_done = 0
+        n_chunks = 0
+        n_events = 0
+        peak_resident = 0
+
+        for chunk_results in chunk_iter:
+            n_done += len(chunk_results)
+            n_chunks += 1
+            reducer.add_many(chunk_results)
+            for r in chunk_results:
+                heap.push(r)
+            if kept is not None:
+                kept.extend(chunk_results)
+            # Parent-resident records right now: the kept list (or just
+            # this chunk when dropping), the worst-K slice, plus the
+            # worst-case results buffered in completed-but-undrained
+            # futures of the in-flight window.
+            resident = (len(kept) if kept is not None else len(chunk_results))
+            peak_resident = max(
+                peak_resident, resident + len(heap) + in_flight_extra
+            )
+            if progress is not None:
+                snap = reducer.snapshot()
+                n_events += 1
+                progress(
+                    StudyProgress(
+                        n_done=n_done,
+                        n_total=total,
+                        n_chunks=n_chunks,
+                        n_converged=snap["n_converged"],
+                        n_errors=snap["n_errors"],
+                        violation_rate=snap["violation_rate"],
+                        elapsed_s=time.perf_counter() - start,
+                    )
+                )
 
         return StudyResult(
             case_name=base.name,
             analysis=self.analysis,
-            results=results,
+            results=kept if kept is not None else [],
             runtime_s=time.perf_counter() - start,
             n_jobs=jobs,
+            n_scenarios=n_done,
+            worst_results=heap.worst(),
+            n_progress_events=n_events,
+            peak_resident_results=peak_resident,
+            _aggregate=reducer.result(),
         )

@@ -1,0 +1,142 @@
+"""Lazy scenario streams: ensembles as re-iterable generators, not lists.
+
+The family generators historically materialised ``list[Scenario]`` — fine
+for a 9-point sweep, a memory wall for the ROADMAP's 10k+ Monte Carlo
+ensembles (every scenario carries perturbation records and a tag dict).
+:class:`ScenarioStream` keeps the ensemble *declarative*: a zero-argument
+factory that yields scenarios on demand, plus an optional known length.
+
+Design points:
+
+* **Re-iterable.** Every ``iter()`` call invokes the factory again, so
+  one stream object can feed the batch runner, then the result store's
+  spec hash, then a determinism re-run — without caching the expansion.
+* **Sequence-flavoured.** ``len()`` works when the length is known
+  (raising ``TypeError`` otherwise, like any unsized iterable), and
+  ``stream[i]`` / ``stream[a:b]`` walk the factory — O(n), intended for
+  tests and small peeks, not hot loops.
+* **Deterministic.** The factory must be pure: same scenarios, same
+  order, every iteration.  Stochastic families achieve this by deriving
+  per-index child seeds (:func:`child_seed`) instead of sharing one RNG
+  stream, so scenario *i* is identical whether the ensemble is realised
+  whole, chunked, or resumed mid-stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from typing import Callable, Iterable, Iterator
+
+from .spec import Scenario
+
+
+def child_seed(family_seed: int, index: int) -> int:
+    """Deterministic per-index child seed, independent of ensemble size.
+
+    Hash-derived (not drawn from a shared RNG stream) so scenario ``i``
+    gets the same seed whether the family is expanded to 10 or 10 000
+    scenarios, iterated once or many times, or sliced from the middle.
+    """
+    digest = hashlib.blake2b(
+        f"{family_seed}\x1f{index}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+class ScenarioStream:
+    """A lazy, re-iterable scenario family with known-or-unknown length."""
+
+    def __init__(
+        self,
+        factory: Callable[[], Iterable[Scenario]],
+        length: int | None = None,
+        family: str = "",
+    ) -> None:
+        if length is not None and length < 0:
+            raise ValueError(f"stream length must be >= 0, got {length}")
+        self._factory = factory
+        self._length = length
+        self.family = family
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_list(cls, scenarios: list[Scenario], family: str = "") -> "ScenarioStream":
+        """Wrap an already-materialised list (length is known)."""
+        return cls(lambda: iter(scenarios), length=len(scenarios), family=family)
+
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int | None:
+        """Scenario count if known up front, else ``None``."""
+        return self._length
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self._factory())
+
+    def __len__(self) -> int:
+        if self._length is None:
+            raise TypeError(
+                f"stream {self.family or '<anonymous>'!r} has unknown length; "
+                "iterate it (or call materialize()) instead"
+            )
+        return self._length
+
+    def __bool__(self) -> bool:
+        # Never realise the stream just to truth-test it; an unknown-length
+        # stream is assumed non-empty.
+        return self._length != 0
+
+    def __getitem__(self, index: int | slice):
+        if isinstance(index, slice):
+            if self._length is not None:
+                start, stop, step = index.indices(self._length)
+                return list(itertools.islice(iter(self), start, stop, step))
+            if (
+                (index.start or 0) < 0
+                or (index.stop is not None and index.stop < 0)
+                or (index.step or 1) < 0
+            ):
+                raise IndexError("negative slicing needs a known length")
+            return list(
+                itertools.islice(iter(self), index.start, index.stop, index.step)
+            )
+        if index < 0:
+            if self._length is None:
+                raise IndexError("negative indexing needs a known length")
+            index += self._length
+        for item in itertools.islice(iter(self), index, index + 1):
+            return item
+        raise IndexError(f"stream index {index} out of range")
+
+    def __repr__(self) -> str:
+        n = "?" if self._length is None else self._length
+        return f"ScenarioStream(family={self.family!r}, length={n})"
+
+    # ------------------------------------------------------------------
+    def materialize(self) -> list[Scenario]:
+        """Realise the whole stream as a list (the pre-streaming world)."""
+        return list(self)
+
+
+def stream_length(scenarios: Iterable[Scenario]) -> int | None:
+    """Best-effort scenario count without realising ``scenarios``."""
+    if isinstance(scenarios, ScenarioStream):
+        return scenarios.length
+    try:
+        return len(scenarios)  # type: ignore[arg-type]
+    except TypeError:
+        return None
+
+
+def as_stream(scenarios: Iterable[Scenario]) -> ScenarioStream:
+    """Coerce lists/streams/iterables into a :class:`ScenarioStream`.
+
+    A bare one-shot iterator is materialised (it cannot be re-iterated);
+    lists and streams pass through without copying the scenarios.
+    """
+    if isinstance(scenarios, ScenarioStream):
+        return scenarios
+    if not isinstance(scenarios, (list, tuple)):
+        scenarios = list(scenarios)
+    return ScenarioStream.from_list(scenarios)

@@ -38,6 +38,7 @@ from .api import (
     StudyReply,
     StudyRequest,
     derive_session_seed,
+    thin_progress,
 )
 from .executor import StudyExecutor
 from .service import GridMindService, ServiceClosed, SessionNotFound
@@ -58,4 +59,5 @@ __all__ = [
     "StudyReply",
     "StudyRequest",
     "derive_session_seed",
+    "thin_progress",
 ]

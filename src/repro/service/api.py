@@ -14,8 +14,11 @@ import hashlib
 
 from pydantic import BaseModel, Field
 
-#: Scenario families the service can expand server-side.
-STUDY_KINDS = ("sweep", "monte_carlo", "outage", "profile")
+from ..scenarios.generators import STUDY_FAMILY_KINDS
+
+#: Scenario families the service can expand server-side (the shared
+#: :func:`repro.scenarios.expand_study_kind` factory's vocabulary).
+STUDY_KINDS = STUDY_FAMILY_KINDS
 
 
 def derive_session_seed(service_seed: int, session_id: str) -> int:
@@ -84,8 +87,8 @@ class StudyRequest(BaseModel):
     n_scenarios: int | None = Field(
         default=None,
         ge=1,
-        le=5000,
-        description="draws (monte_carlo), steps (sweep/profile), cap (outage)",
+        le=20_000,
+        description="draws (monte_carlo/lhs), steps (sweep/profile), cap (outage)",
     )
     lo_percent: float = Field(default=80.0, gt=0.0)
     hi_percent: float = Field(default=120.0, gt=0.0)
@@ -96,7 +99,13 @@ class StudyRequest(BaseModel):
 
 
 class StudyReply(BaseModel):
-    """Summary of a completed study plus its persistent store key."""
+    """Summary of a completed study plus its persistent store key.
+
+    ``progress`` carries the incremental per-chunk checkpoints the
+    streaming pipeline emitted while the study ran (thinned to a bounded
+    sample, first and last always included), so transports can replay a
+    study's delivery timeline without a live callback channel.
+    """
 
     study_key: str | None = None
     case_name: str
@@ -106,3 +115,23 @@ class StudyReply(BaseModel):
     n_jobs: int = 1
     runtime_s: float = 0.0
     summary: dict = Field(default_factory=dict)
+    n_progress_events: int = 0
+    progress: list[dict] = Field(default_factory=list)
+    peak_resident_results: int | None = None
+
+
+def thin_progress(events: list[dict], keep: int = 12) -> list[dict]:
+    """Bounded, order-preserving sample of a progress-event trail.
+
+    Keeps the first and last events and an even spread between, so a
+    10k-scenario study's hundreds of checkpoints compress to a reply-
+    sized timeline without losing the endpoints.
+    """
+    if keep < 2:
+        raise ValueError(f"need to keep at least 2 events, got {keep}")
+    if len(events) <= keep:
+        return list(events)
+    step = (len(events) - 1) / (keep - 1)
+    picked = {round(i * step) for i in range(keep)}
+    picked.add(len(events) - 1)
+    return [events[i] for i in sorted(picked)]

@@ -20,6 +20,14 @@ Determinism: chunks are submitted and collected in scenario order and
 evaluated by the exact same ``_WorkerState`` code path the serial runner
 uses, so executor-backed, per-run-pool, and serial studies produce
 identical result lists.
+
+Dispatch is *streaming*: :meth:`StudyExecutor.run_study_iter` draws
+chunks lazily from the scenario stream with a bounded in-flight window
+(backpressure against the shared pool) and yields completed chunks in
+order, so a 10k-scenario ensemble flows through the parent process
+without ever materialising — the consumer folds each chunk into an
+online reducer and drops it.  :meth:`run_study` keeps the materialised
+list shape for callers that want it.
 """
 
 from __future__ import annotations
@@ -27,9 +35,10 @@ from __future__ import annotations
 import os
 import pickle
 import threading
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from typing import Iterable, Iterator
 
 from ..contingency.cache import network_content_hash
 from ..grid.network import Network
@@ -37,9 +46,11 @@ from ..scenarios.runner import (
     ScenarioResult,
     StudyConfig,
     _WorkerState,
-    chunk_scenarios,
+    default_chunk_size,
+    iter_chunks,
 )
 from ..scenarios.spec import Scenario
+from ..scenarios.stream import stream_length
 
 # ----------------------------------------------------------------------
 # worker-side plumbing (runs inside pool processes)
@@ -100,9 +111,21 @@ class StudyExecutor:
     themselves run unlocked.
     """
 
-    def __init__(self, max_workers: int = 2, chunk_size: int | None = None) -> None:
+    #: Default in-flight chunk window per study, as a multiple of the
+    #: worker count: enough to keep every worker busy plus one queued
+    #: chunk each, small enough that a 10k-scenario stream never piles
+    #: undispatched work (or undrained results) into parent memory.
+    WINDOW_PER_WORKER = 2
+
+    def __init__(
+        self,
+        max_workers: int = 2,
+        chunk_size: int | None = None,
+        window: int | None = None,
+    ) -> None:
         self.max_workers = max(1, int(max_workers))
         self.chunk_size = chunk_size
+        self.window = window
         self._pool: ProcessPoolExecutor | None = None
         self._lock = threading.Lock()
         # Lifecycle instrumentation: `pools_started` staying at 1 across
@@ -110,6 +133,7 @@ class StudyExecutor:
         self.pools_started = 0
         self.n_studies = 0
         self.n_chunks = 0
+        self.max_in_flight = 0  # peak submitted-not-yet-drained chunks
         self.worker_pids: set[int] = set()
 
     # ------------------------------------------------------------------
@@ -133,56 +157,115 @@ class StudyExecutor:
             self.pools_started += 1
         return self._pool
 
+    def run_study_iter(
+        self,
+        base: Network,
+        config: StudyConfig,
+        scenarios: Iterable[Scenario],
+        *,
+        chunk_size: int | None = None,
+        window: int | None = None,
+    ) -> Iterator[list[ScenarioResult]]:
+        """Stream ``scenarios`` through the shared pool, chunk by chunk.
+
+        Chunks are drawn lazily from the scenario stream with at most
+        ``window`` in flight (submitted but not yet drained) — the
+        backpressure that keeps a 10k-scenario ensemble from piling
+        either pending futures or completed-but-unread results into
+        parent memory.  Completed chunks are yielded in scenario order,
+        so consumers fold them into an online reducer and drop them.
+        """
+        total = stream_length(scenarios)
+        if total == 0:
+            return
+        key = study_state_key(base, config)
+        blob = pickle.dumps(base, protocol=pickle.HIGHEST_PROTOCOL)
+        chunk = (
+            chunk_size
+            or self.chunk_size
+            or default_chunk_size(total, self.max_workers)
+        )
+        window = max(1, window or self.window or self.WINDOW_PER_WORKER * self.max_workers)
+        chunks = iter_chunks(scenarios, chunk)
+
+        def submit(c: list[Scenario]):
+            # Submit under the lock: pool creation, submission, and the
+            # broken-pool reset below are mutually exclusive, so no
+            # thread can submit into a pool another thread is tearing
+            # down.  The pool is re-resolved per chunk: if another
+            # study's failure replaced it mid-stream, later chunks land
+            # on the fresh pool (content-addressed worker state rebuilds
+            # transparently).
+            with self._lock:
+                pool = self._start_locked()
+                try:
+                    return pool, pool.submit(_run_shared_chunk, key, blob, config, c)
+                except BrokenProcessPool:
+                    self._reset_broken_pool(pool)
+                    raise
+
+        pending: deque = deque()
+        pids: set[int] = set()
+        n_chunks = 0
+        peak_in_flight = 0
+        try:
+            exhausted = False
+            while not exhausted or pending:
+                while not exhausted and len(pending) < window:
+                    nxt = next(chunks, None)
+                    if nxt is None:
+                        exhausted = True
+                        break
+                    pending.append(submit(nxt))
+                    peak_in_flight = max(peak_in_flight, len(pending))
+                if not pending:
+                    break
+                pool, future = pending.popleft()
+                try:
+                    pid, chunk_results = future.result()
+                except BrokenProcessPool:
+                    # Only a *broken* pool (a worker died) poisons later
+                    # submissions and must be dropped so the next study
+                    # restarts cleanly.  Any other failure leaves the
+                    # shared pool — and every concurrent study running
+                    # on it — untouched.
+                    with self._lock:
+                        self._reset_broken_pool(pool)
+                    raise
+                pids.add(pid)
+                n_chunks += 1
+                yield chunk_results
+        finally:
+            # Early consumer exit (or an error) must not leak queued work.
+            for _pool, future in pending:
+                future.cancel()
+            with self._lock:
+                self.n_chunks += n_chunks
+                self.max_in_flight = max(self.max_in_flight, peak_in_flight)
+                self.worker_pids.update(pids)
+
+        with self._lock:
+            self.n_studies += 1
+
     def run_study(
         self,
         base: Network,
         config: StudyConfig,
-        scenarios: list[Scenario],
+        scenarios: Iterable[Scenario],
         *,
         chunk_size: int | None = None,
     ) -> list[ScenarioResult]:
-        """Execute ``scenarios`` on the shared pool, preserving order."""
-        if not scenarios:
-            return []
-        key = study_state_key(base, config)
-        blob = pickle.dumps(base, protocol=pickle.HIGHEST_PROTOCOL)
-        chunks = chunk_scenarios(
-            scenarios,
-            min(self.max_workers, len(scenarios)),
-            chunk_size or self.chunk_size,
-        )
-        # Submit under the lock: pool creation, submission, and the
-        # broken-pool reset below are mutually exclusive, so no thread
-        # can submit into a pool another thread is tearing down.
-        with self._lock:
-            pool = self._start_locked()
-            try:
-                futures = [
-                    pool.submit(_run_shared_chunk, key, blob, config, c)
-                    for c in chunks
-                ]
-            except BrokenProcessPool:
-                self._reset_broken_pool(pool)
-                raise
-        try:
-            results: list[ScenarioResult] = []
-            pids: set[int] = set()
-            for future in futures:
-                pid, chunk_results = future.result()
-                pids.add(pid)
-                results.extend(chunk_results)
-        except BrokenProcessPool:
-            # Only a *broken* pool (a worker died) poisons later
-            # submissions and must be dropped so the next study restarts
-            # cleanly.  Any other failure leaves the shared pool — and
-            # every concurrent study running on it — untouched.
-            with self._lock:
-                self._reset_broken_pool(pool)
-            raise
-        with self._lock:
-            self.n_studies += 1
-            self.n_chunks += len(chunks)
-            self.worker_pids.update(pids)
+        """Execute ``scenarios`` on the shared pool, preserving order.
+
+        Materialised convenience over :meth:`run_study_iter` — same
+        windowed dispatch underneath, results concatenated for callers
+        that want the full list.
+        """
+        results: list[ScenarioResult] = []
+        for chunk_results in self.run_study_iter(
+            base, config, scenarios, chunk_size=chunk_size
+        ):
+            results.extend(chunk_results)
         return results
 
     def _reset_broken_pool(self, pool: ProcessPoolExecutor) -> None:
@@ -207,6 +290,7 @@ class StudyExecutor:
                 "pools_started": self.pools_started,
                 "n_studies": self.n_studies,
                 "n_chunks": self.n_chunks,
+                "max_in_flight": self.max_in_flight,
                 "n_worker_pids": len(self.worker_pids),
                 "alive": self._pool is not None,
             }

@@ -35,6 +35,7 @@ from .api import (
     StudyReply,
     StudyRequest,
     derive_session_seed,
+    thin_progress,
 )
 from .executor import StudyExecutor
 from .store import ResultStore
@@ -185,46 +186,57 @@ class GridMindService:
     # ------------------------------------------------------------------
     # direct study submission (no conversation required)
     # ------------------------------------------------------------------
-    async def run_study(self, request: StudyRequest) -> StudyReply:
-        """Expand and execute a study on the shared pool; persist if stored."""
-        self._check_open()
-        return await asyncio.to_thread(self._run_study_sync, request)
+    async def run_study(self, request: StudyRequest, *, progress=None) -> StudyReply:
+        """Expand and execute a study on the shared pool; persist if stored.
 
-    def _run_study_sync(self, request: StudyRequest) -> StudyReply:
+        ``progress`` (optional) receives a
+        :class:`~repro.scenarios.runner.StudyProgress` per completed
+        chunk, invoked from the study's worker thread — callers bridging
+        to the event loop should use ``loop.call_soon_threadsafe``.  The
+        reply additionally carries the (thinned) progress trail, so
+        transports without a callback channel still see the timeline.
+        """
+        self._check_open()
+        return await asyncio.to_thread(self._run_study_sync, request, progress)
+
+    def _run_study_sync(
+        self, request: StudyRequest, progress=None
+    ) -> StudyReply:
         from ..grid.cases import load_case
-        from ..scenarios import (
-            BatchStudyRunner,
-            daily_profile,
-            load_sweep,
-            monte_carlo_ensemble,
-            outage_combinations,
-        )
+        from ..scenarios import BatchStudyRunner, expand_study_kind
 
         if request.kind not in STUDY_KINDS:
             raise ValueError(
                 f"unknown study kind {request.kind!r}; use one of {STUDY_KINDS}"
             )
         net = load_case(request.case_name)
-        if request.kind == "sweep":
-            scenarios = load_sweep(
-                request.lo_percent / 100.0,
-                request.hi_percent / 100.0,
-                request.n_scenarios or 9,
-            )
-        elif request.kind == "profile":
-            scenarios = daily_profile(steps=request.n_scenarios or 24)
-        elif request.kind == "outage":
-            scenarios = outage_combinations(
-                net, depth=request.depth, limit=request.n_scenarios or 50
-            )
-        else:
-            scenarios = monte_carlo_ensemble(
-                n=request.n_scenarios or 200,
-                sigma=request.sigma_percent / 100.0,
-                seed=request.seed,
-            )
+        scenarios = expand_study_kind(
+            request.kind,
+            net,
+            n_scenarios=request.n_scenarios,
+            lo_percent=request.lo_percent,
+            hi_percent=request.hi_percent,
+            sigma_percent=request.sigma_percent,
+            seed=request.seed,
+            depth=request.depth,
+        )
+        events: list[dict] = []
+
+        def on_chunk(p) -> None:
+            events.append(p.to_dict())
+            if progress is not None:
+                progress(p)
+
+        # The full record list is only retained when a store will persist
+        # it; otherwise the study streams through the reducer and holds
+        # O(in-flight window + worst-K) results at peak.
         runner = BatchStudyRunner(analysis=request.analysis, executor=self.executor)
-        study = runner.run(net, scenarios)
+        study = runner.run(
+            net,
+            scenarios,
+            progress=on_chunk,
+            keep_results=self.store is not None,
+        )
         key = None
         if self.store is not None:
             key = self.store.put(
@@ -248,6 +260,9 @@ class GridMindService:
             n_jobs=study.n_jobs,
             runtime_s=study.runtime_s,
             summary=summary,
+            n_progress_events=len(events),
+            progress=thin_progress(events),
+            peak_resident_results=study.peak_resident_results,
         )
 
     async def compare_studies(

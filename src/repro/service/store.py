@@ -48,6 +48,12 @@ class StudyNotFound(KeyError):
     """No stored study matches the requested key/label."""
 
 
+def _results_digest(results: list[dict]) -> str:
+    """Checksum of the serialised result records (for :meth:`verify`)."""
+    blob = json.dumps(results, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.blake2b(blob.encode("utf-8"), digest_size=8).hexdigest()
+
+
 def spec_hash(config: StudyConfig, scenarios: list[Scenario]) -> str:
     """Deterministic digest of a study definition (config + scenarios)."""
     canon = {
@@ -143,7 +149,25 @@ class ResultStore:
         label: str = "",
     ) -> str:
         """Persist a full study result set; returns its content-hash key."""
-        key = self.key_for(base, config, scenarios)
+        if study.n_scenarios and not study.results:
+            raise ValueError(
+                "study holds no per-scenario records (streamed with "
+                "keep_results=False); re-run with keep_results=True to persist"
+            )
+        # One expansion of the (possibly lazy) stream for both the key
+        # and the payload — counted against the study so a consumed
+        # one-shot generator (which would silently hash as an *empty*
+        # spec and collide every study onto one key) is rejected.
+        scenarios = list(scenarios)
+        if len(scenarios) != study.n_scenarios:
+            raise ValueError(
+                f"scenario stream yields {len(scenarios)} scenarios but the "
+                f"study ran {study.n_scenarios} — pass the same re-iterable "
+                "family (a ScenarioStream or list), not a consumed iterator"
+            )
+        net_hash = network_content_hash(base)
+        sp_hash = spec_hash(config, scenarios)
+        key = f"{net_hash}-{sp_hash}"
         meta = StoredStudyMeta(
             key=key,
             case_name=study.case_name,
@@ -155,13 +179,15 @@ class ResultStore:
             n_jobs=study.n_jobs,
             runtime_s=study.runtime_s,
         )
+        records = [dataclasses.asdict(r) for r in study.results]
         payload = {
             "format": FORMAT,
             **dataclasses.asdict(meta),
-            "network_hash": network_content_hash(base),
-            "spec_hash": spec_hash(config, scenarios),
+            "network_hash": net_hash,
+            "spec_hash": sp_hash,
             "config": dataclasses.asdict(config),
-            "results": [dataclasses.asdict(r) for r in study.results],
+            "results_digest": _results_digest(records),
+            "results": records,
         }
         self._write_atomic(self._path(key), json.dumps(payload, default=str))
         # Sidecar metadata keeps directory listings O(studies), not
@@ -287,6 +313,115 @@ class ResultStore:
         summary["study_key"] = meta.key
         summary["source"] = "result_store"
         return summary
+
+    # ------------------------------------------------------------------
+    # lifecycle: retention and integrity
+    # ------------------------------------------------------------------
+    def _entry_bytes(self, key: str) -> int:
+        """On-disk footprint of one study (payload + sidecar)."""
+        size = 0
+        for path in (self._path(key), self._meta_path(key)):
+            try:
+                size += path.stat().st_size
+            except OSError:
+                pass
+        return size
+
+    def _delete(self, key: str) -> None:
+        for path in (self._path(key), self._meta_path(key)):
+            with contextlib.suppress(OSError):
+                path.unlink()
+
+    def prune(
+        self,
+        *,
+        max_age_s: float | None = None,
+        max_bytes: int | None = None,
+        now: float | None = None,
+    ) -> dict:
+        """Apply retention policy: drop old studies, then cap total bytes.
+
+        ``max_age_s`` removes every study older than that; ``max_bytes``
+        then evicts oldest-first until the remaining payloads (plus
+        sidecars) fit.  Content-hash keys make pruning safe: re-running
+        an identical study simply recreates its entry.  Returns a report
+        of what was removed and what remains.
+        """
+        entries = self.list_studies()  # oldest first
+        removed: list[str] = []
+        kept = list(entries)
+        if max_age_s is not None:
+            cutoff = (now if now is not None else time.time()) - max_age_s
+            stale = [m for m in kept if m.created_at < cutoff]
+            removed.extend(m.key for m in stale)
+            kept = [m for m in kept if m.created_at >= cutoff]
+        if max_bytes is not None:
+            sizes = {m.key: self._entry_bytes(m.key) for m in kept}
+            total = sum(sizes.values())
+            while kept and total > max_bytes:
+                oldest = kept.pop(0)
+                total -= sizes[oldest.key]
+                removed.append(oldest.key)
+        for key in removed:
+            self._delete(key)
+        return {
+            "n_removed": len(removed),
+            "removed": removed,
+            "n_kept": len(kept),
+            "bytes_kept": sum(self._entry_bytes(m.key) for m in kept),
+        }
+
+    def verify(self) -> dict:
+        """Integrity-check every stored study against its content-hash key.
+
+        Checks, per payload: parseable JSON in the current format, the
+        filename key matching the stored ``network_hash``/``spec_hash``
+        pair, the result-record checksum (when present — older stores
+        predate it), record-count consistency, and that every record
+        reconstructs as a :class:`ScenarioResult`.  Sidecars pointing at
+        missing payloads are reported as orphans (and are safe to prune).
+        """
+        ok: list[str] = []
+        corrupt: list[dict] = []
+        for path in sorted(self.root.glob("*.json")):
+            key = path.stem
+            try:
+                payload = json.loads(path.read_text())
+                if payload.get("format") != FORMAT:
+                    raise ValueError(f"not a {FORMAT} payload")
+                stored_key = (
+                    f"{payload.get('network_hash', '')}-{payload.get('spec_hash', '')}"
+                )
+                if stored_key != key:
+                    raise ValueError(
+                        f"content-hash mismatch: file {key}, payload {stored_key}"
+                    )
+                records = payload.get("results", [])
+                if payload.get("n_scenarios") != len(records):
+                    raise ValueError(
+                        f"record count {len(records)} != n_scenarios "
+                        f"{payload.get('n_scenarios')}"
+                    )
+                digest = payload.get("results_digest")
+                if digest is not None and digest != _results_digest(records):
+                    raise ValueError("results checksum mismatch")
+                for r in records:
+                    ScenarioResult(**r)
+            except (OSError, json.JSONDecodeError, TypeError, ValueError) as exc:
+                corrupt.append({"key": key, "error": str(exc)})
+            else:
+                ok.append(key)
+        payload_keys = {p.stem for p in self.root.glob("*.json")}
+        orphans = sorted(
+            p.stem for p in self.root.glob("*.meta") if p.stem not in payload_keys
+        )
+        return {
+            "n_studies": len(ok) + len(corrupt),
+            "n_ok": len(ok),
+            "ok": ok,
+            "corrupt": corrupt,
+            "orphan_sidecars": orphans,
+        }
 
     # ------------------------------------------------------------------
     # comparison
