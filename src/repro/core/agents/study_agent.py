@@ -37,6 +37,8 @@ from ...scenarios import (
     load_sweep,
     monte_carlo_ensemble,
     outage_combinations,
+    resolve_slice_by,
+    uniform_correlation,
 )
 from ..context import AgentContext
 from ..tools import ToolError, ToolRegistry
@@ -50,10 +52,19 @@ studies over the standard IEEE test cases, each evaluated with power
 flow, DCOPF, ACOPF, two-stage contingency screening, or preventive
 SCOPF (secured cost distributions).  Large ensembles stream through an
 online reducer with incremental progress, so scale is not a reason to
-refuse.  Report ensemble statistics (violation frequencies, cost
-percentiles, critical-ranking stability), never single-scenario
-anecdotes, and never fabricate numbers; every figure must come from
-structured study results."""
+refuse.  Studies can be *sliced* by scenario tags (hour of day, sweep
+scale, hot zone) so answers break down per factor, and Monte Carlo
+ensembles support zonal load correlation.  Report ensemble statistics
+(violation frequencies, cost percentiles, per-slice tables,
+critical-ranking stability), never single-scenario anecdotes, and never
+fabricate numbers; every figure must come from structured study
+results."""
+
+_SLICE_BY_DESCRIPTION = (
+    "comma-separated tag dimensions to slice aggregates by ('hour', "
+    "'scale', 'zone' ...); empty infers the family's natural dimension, "
+    "'none' disables slicing"
+)
 
 
 class LoadSweepArgs(BaseModel):
@@ -63,6 +74,7 @@ class LoadSweepArgs(BaseModel):
     steps: int = Field(default=9, ge=2, le=201)
     analysis: str = Field(default="acopf")
     n_jobs: int = Field(default=1, ge=1, le=64)
+    slice_by: str = Field(default="", description=_SLICE_BY_DESCRIPTION)
 
 
 class MonteCarloArgs(BaseModel):
@@ -72,6 +84,20 @@ class MonteCarloArgs(BaseModel):
     seed: int = Field(default=0, ge=0)
     analysis: str = Field(default="powerflow")
     n_jobs: int = Field(default=1, ge=1, le=64)
+    slice_by: str = Field(default="", description=_SLICE_BY_DESCRIPTION)
+    n_zones: int = Field(
+        default=0,
+        ge=0,
+        le=32,
+        description="zonal correlated draws: partition buses into this many "
+        "zones (0 = independent per-load noise)",
+    )
+    rho_percent: float = Field(
+        default=0.0,
+        ge=-100.0,
+        le=100.0,
+        description="inter-zone load correlation, % (used when n_zones >= 2)",
+    )
 
 
 class OutageStudyArgs(BaseModel):
@@ -80,6 +106,7 @@ class OutageStudyArgs(BaseModel):
     limit: int = Field(default=50, ge=1, le=5000, description="max combinations")
     analysis: str = Field(default="powerflow")
     n_jobs: int = Field(default=1, ge=1, le=64)
+    slice_by: str = Field(default="", description=_SLICE_BY_DESCRIPTION)
 
 
 class CompareStudiesArgs(BaseModel):
@@ -100,6 +127,7 @@ class ProfileStudyArgs(BaseModel):
     peak_percent: float = Field(default=100.0, gt=0.0)
     analysis: str = Field(default="powerflow")
     n_jobs: int = Field(default=1, ge=1, le=64)
+    slice_by: str = Field(default="", description=_SLICE_BY_DESCRIPTION)
 
 
 def _check_analysis(analysis: str) -> None:
@@ -124,11 +152,25 @@ def build_study_registry(
     if store is None:
         store = context.result_store
 
-    def _execute(case_name: str, scenarios, analysis: str, n_jobs: int, kind: str) -> dict:
+    def _execute(
+        case_name: str,
+        scenarios,
+        analysis: str,
+        n_jobs: int,
+        kind: str,
+        slice_by: str = "",
+        n_zones: int = 0,
+    ) -> dict:
         _check_analysis(analysis)
+        # "" infers the family's natural slice dimension ('hour' for
+        # profiles, 'scale' for sweeps, 'hot_zone' for zonal draws),
+        # "none" disables slicing, and anything else names dimensions.
+        slices = resolve_slice_by(slice_by or None, kind, n_zones=n_zones)
         t0 = time.perf_counter()
         net = context.activate_case(case_name)
-        runner = BatchStudyRunner(analysis=analysis, n_jobs=n_jobs, executor=executor)
+        runner = BatchStudyRunner(
+            analysis=analysis, n_jobs=n_jobs, executor=executor, slice_by=slices
+        )
         # Results stream through the online reducer chunk by chunk; the
         # full record list is retained only when a store will persist it.
         # The no-op callback turns on per-chunk progress accounting, so
@@ -138,6 +180,8 @@ def build_study_registry(
         )
         payload = study.to_dict(max_scenarios=5)
         payload["study_kind"] = kind
+        if slices:
+            payload["slice_by"] = list(slices)
         if store is not None:
             payload["study_key"] = store.put(
                 net, runner.config(), scenarios, study, study_kind=kind
@@ -169,13 +213,14 @@ def build_study_registry(
         steps: int = 9,
         analysis: str = "acopf",
         n_jobs: int = 1,
+        slice_by: str = "",
     ) -> dict:
         if hi_percent < lo_percent:
             raise ToolError(
                 f"sweep range is inverted: {lo_percent}% .. {hi_percent}%"
             )
         scenarios = load_sweep(lo_percent / 100.0, hi_percent / 100.0, steps)
-        return _execute(case_name, scenarios, analysis, n_jobs, "load_sweep")
+        return _execute(case_name, scenarios, analysis, n_jobs, "load_sweep", slice_by)
 
     def run_monte_carlo_study(
         case_name: str,
@@ -184,11 +229,40 @@ def build_study_registry(
         seed: int = 0,
         analysis: str = "powerflow",
         n_jobs: int = 1,
+        slice_by: str = "",
+        n_zones: int = 0,
+        rho_percent: float = 0.0,
     ) -> dict:
+        correlation = None
+        if n_zones >= 2:
+            net = context.activate_case(case_name)
+            if n_zones > net.n_bus:
+                raise ToolError(
+                    f"n_zones={n_zones} exceeds {case_name}'s {net.n_bus} "
+                    "buses; every zone must contain at least one bus"
+                )
+            rho = rho_percent / 100.0
+            if rho < -1.0 / (n_zones - 1):
+                raise ToolError(
+                    f"rho {rho:g} is infeasible for {n_zones} zones (the "
+                    f"equicorrelation matrix needs rho >= {-1.0 / (n_zones - 1):.3f})"
+                )
+            correlation = uniform_correlation(n_zones, rho)
+        elif "zone" in slice_by:
+            raise ToolError(
+                "slicing by hot_zone requires zonal correlated draws: set "
+                "n_zones >= 2 (e.g. n_zones=4, rho_percent=60) so each "
+                "scenario is tagged with the zone driving its stress"
+            )
         scenarios = monte_carlo_ensemble(
-            n=n_scenarios, sigma=sigma_percent / 100.0, seed=seed
+            n=n_scenarios,
+            sigma=sigma_percent / 100.0,
+            seed=seed,
+            correlation=correlation,
         )
-        return _execute(case_name, scenarios, analysis, n_jobs, "monte_carlo")
+        return _execute(
+            case_name, scenarios, analysis, n_jobs, "monte_carlo", slice_by, n_zones
+        )
 
     def run_outage_study(
         case_name: str,
@@ -196,11 +270,12 @@ def build_study_registry(
         limit: int = 50,
         analysis: str = "powerflow",
         n_jobs: int = 1,
+        slice_by: str = "",
     ) -> dict:
         # activate_case is idempotent, so _execute's repeat call is free.
         net = context.activate_case(case_name)
         scenarios = outage_combinations(net, depth=depth, limit=limit)
-        payload = _execute(case_name, scenarios, analysis, n_jobs, "outage")
+        payload = _execute(case_name, scenarios, analysis, n_jobs, "outage", slice_by)
         payload["outage_depth"] = depth
         return payload
 
@@ -211,6 +286,7 @@ def build_study_registry(
         peak_percent: float = 100.0,
         analysis: str = "powerflow",
         n_jobs: int = 1,
+        slice_by: str = "",
     ) -> dict:
         if peak_percent < trough_percent:
             raise ToolError(
@@ -219,7 +295,9 @@ def build_study_registry(
         scenarios = daily_profile(
             steps=steps, trough=trough_percent / 100.0, peak=peak_percent / 100.0
         )
-        return _execute(case_name, scenarios, analysis, n_jobs, "daily_profile")
+        return _execute(
+            case_name, scenarios, analysis, n_jobs, "daily_profile", slice_by
+        )
 
     def get_study_status() -> dict:
         summary = context.latest_study_summary()

@@ -14,6 +14,8 @@ expand lazily, chunks fold into the online reducer as they complete, and
     gridmind study --case ieee118 --kind monte-carlo -n 10000 --jobs 4
     gridmind study --case ieee57 --kind sweep --lo 80 --hi 120 --analysis acopf
     gridmind study --case ieee14 --kind lhs -n 500 --analysis scopf
+    gridmind study --case ieee14 --kind profile -n 96 --slice-by hour
+    gridmind study --case ieee14 --kind monte-carlo -n 500 --zones 4 --rho 0.6
 
 The ``serve`` subcommand starts the async multi-session service: one
 :class:`~repro.service.GridMindService` multiplexing named conversations
@@ -128,6 +130,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     study.add_argument("--depth", type=int, default=2, help="outages per scenario")
     study.add_argument(
+        "--slice-by",
+        default=None,
+        metavar="DIMS",
+        help="comma-separated tag dimensions for sliced aggregation "
+        "('hour', 'scale', 'zone', ...); default infers the family's "
+        "natural dimension, 'none' disables slicing",
+    )
+    study.add_argument(
+        "--zones",
+        type=int,
+        default=0,
+        metavar="Z",
+        help="monte-carlo only: draw zonal correlated load factors over "
+        "this many contiguous bus zones (0 = independent per-load noise)",
+    )
+    study.add_argument(
+        "--rho",
+        type=float,
+        default=0.0,
+        help="monte-carlo inter-zone load correlation (with --zones), "
+        "e.g. 0.6",
+    )
+    study.add_argument(
         "--json", action="store_true", help="emit the full study summary as JSON"
     )
     # Also accepted after the subcommand; SUPPRESS keeps a pre-subcommand
@@ -198,6 +223,8 @@ def _build_study_scenarios(args):
         sigma_percent=args.sigma,
         seed=args.seed,
         depth=args.depth,
+        n_zones=args.zones,
+        rho_percent=100.0 * args.rho,
     )
     return net, scenarios
 
@@ -232,14 +259,17 @@ def run_study(args) -> int:
     into the online reducer, and ``--progress`` (implied on a TTY)
     narrates delivery live instead of waiting for the final table.
     """
-    from ..scenarios import BatchStudyRunner
+    from ..scenarios import BatchStudyRunner, resolve_slice_by
 
     progress = None
     if args.progress or _supports_color(sys.stderr):
         progress = _progress_printer(sys.stderr)
     try:
+        slice_by = resolve_slice_by(args.slice_by, args.kind, n_zones=args.zones)
         net, scenarios = _build_study_scenarios(args)
-        runner = BatchStudyRunner(analysis=args.analysis, n_jobs=args.jobs)
+        runner = BatchStudyRunner(
+            analysis=args.analysis, n_jobs=args.jobs, slice_by=slice_by
+        )
         study = runner.run(
             net, scenarios, progress=progress, keep_results=args.keep_results
         )
@@ -289,6 +319,29 @@ def run_study(args) -> int:
             "  stable critical branches: "
             + ", ".join(str(b) for b in agg["stable_critical"])
         )
+    for dim, block in (agg.get("slices") or {}).items():
+        cells = block.get("cells") or []
+        if not cells:
+            print(
+                f"  sliced by {dim}: no scenarios carried this tag "
+                f"({block.get('n_unsliced', 0)} untagged)"
+            )
+            continue
+        head = f"  sliced by {dim} ({block['n_cells']} buckets"
+        if block.get("n_overflow_values"):
+            head += f", {block['n_overflow_values']} folded into __other__"
+        print(head + "):")
+        print(f"    {'value':>10s}  {'n':>6s}  {'viol%':>6s}  {'cost p50':>10s}  {'load p95':>9s}")
+        for cell in cells:
+            cost = cell.get("cost_stats")
+            loading = cell.get("loading_stats")
+            print(
+                f"    {cell['value']:>10s}  {cell['n']:>6d}  "
+                f"{100.0 * cell['violation_rate']:>6.1f}  "
+                + (f"{cost['p50']:>10.2f}" if cost else f"{'-':>10s}")
+                + "  "
+                + (f"{loading['p95']:>9.1f}" if loading else f"{'-':>9s}")
+            )
     print("  most stressed scenarios:")
     for w in payload["worst_scenarios"][:5]:
         line = f"    {w['name']}: peak loading {w['max_loading_percent']:.1f}%"

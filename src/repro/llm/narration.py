@@ -130,6 +130,72 @@ def narrate_contingency(res: dict, verbosity: int) -> str:
     return "\n".join(lines)
 
 
+#: Canonical slice-dimension tags -> operator-facing labels.
+_SLICE_DIM_LABELS = {
+    "hour_of_day": "hour of day",
+    "scale": "load scale",
+    "hot_zone": "hot zone",
+    "outage_branch": "outaged branch",
+    "stratum": "stratum",
+    "draw": "draw",
+}
+
+
+def _slice_cell_line(dim: str, cell: dict) -> str:
+    """One grounded slice-table row: every number from the cell dict."""
+    label = "other" if cell["value"] == "__other__" else cell["value"]
+    bits = [
+        f"  {dim} {label}: {cell['n']} scenario{'s' if cell['n'] != 1 else ''}",
+        f"{100.0 * cell.get('violation_rate', 0.0):.0f}% violations",
+    ]
+    cost = cell.get("cost_stats")
+    if cost:
+        bits.append(f"median cost {_money(cost['p50'])}/h")
+    loading = cell.get("loading_stats")
+    if loading:
+        bits.append(f"peak loading p95 {loading['p95']:.1f}%")
+    return ", ".join(bits)
+
+
+def _thin_cells(cells: list[dict], keep: int = 12) -> list[dict]:
+    """Evenly sample a long cell table, always keeping both endpoints."""
+    if len(cells) <= keep:
+        return cells
+    step = (len(cells) - 1) / (keep - 1)
+    picked = sorted({round(i * step) for i in range(keep)} | {len(cells) - 1})
+    return [cells[i] for i in picked]
+
+
+def narrate_slices(slices: dict, verbosity: int) -> list[str]:
+    """Per-dimension slice tables ("cost vs sweep scale", "violations vs
+    hour-of-day") rendered from a study aggregate's ``slices`` payload."""
+    lines: list[str] = []
+    for dim, block in (slices or {}).items():
+        cells = block.get("cells") or []
+        label = _SLICE_DIM_LABELS.get(dim, dim.replace("_", " "))
+        if not cells:
+            # An explicitly requested dimension that matched nothing must
+            # say so, not silently vanish from the reply.
+            lines.append(
+                f"Sliced by {label}: no scenarios carried this tag "
+                f"({block.get('n_unsliced', 0)} untagged)."
+            )
+            continue
+        head = f"Sliced by {label} ({block.get('n_cells', len(cells))} buckets"
+        overflow = block.get("n_overflow_values", 0)
+        if overflow:
+            head += f"; {overflow} overflow values folded into 'other'"
+        unsliced = block.get("n_unsliced", 0)
+        if unsliced:
+            head += f"; {unsliced} scenarios untagged"
+        lines.append(head + "):")
+        shown = cells if verbosity >= 2 else _thin_cells(cells)
+        lines.extend(_slice_cell_line(label, cell) for cell in shown)
+        if len(shown) < len(cells):
+            lines.append(f"  ... ({len(cells) - len(shown)} more buckets elided)")
+    return lines
+
+
 _STUDY_KIND_LABELS = {
     # Conversational tools tag with the long names, the service API with
     # the short family names; both narrate identically.
@@ -195,6 +261,8 @@ def narrate_study(res: dict, verbosity: int) -> str:
             + ", ".join(str(b) for b in stable)
             + "."
         )
+    if agg.get("slices"):
+        lines.extend(narrate_slices(agg["slices"], verbosity))
     n_events = res.get("n_progress_events")
     if n_events:
         sketched = any(
@@ -268,6 +336,19 @@ def narrate_study_comparison(res: dict, verbosity: int) -> str:
             f"Median peak loading changed by {d_loading['p50']:+.1f} points "
             f"(worst case by {d_loading['max']:+.1f})."
         )
+    for dim, rows in (delta.get("slices") or {}).items():
+        if not rows:
+            continue
+        label = _SLICE_DIM_LABELS.get(dim, dim.replace("_", " "))
+        worst_row = max(rows, key=lambda r: abs(r.get("violation_rate", 0.0)))
+        bit = (
+            f"Across {len(rows)} shared {label} buckets the largest shift is "
+            f"at {label} {worst_row['value']}: violation rate "
+            f"{100.0 * worst_row.get('violation_rate', 0.0):+.0f} points"
+        )
+        if worst_row.get("cost_p50") is not None:
+            bit += f", median cost {_money(worst_row['cost_p50'])}/h"
+        lines.append(bit + ".")
     new_over = res.get("newly_overloaded_branches") or []
     cleared = res.get("cleared_branches") or []
     if new_over:

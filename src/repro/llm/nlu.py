@@ -73,6 +73,36 @@ _SIGMA_RE = re.compile(
 _COMPARE_RE = re.compile(
     r"\bcompare\b|\bversus\b|\bvs\.?\b|\bdiff(?:erence)?\b", re.I
 )
+#: "slice by hour" / "broken down per zone" style dimension requests.
+#: The dimension vocabulary is closed (known scenario-tag aliases), so a
+#: bare "per scenario" or "by 5%" never misfires.  "hour" additionally
+#: requires an explicit slicing/grouping verb, because bare "per hour"
+#: is rate phrasing ("the cost per hour" means $/h, not a breakdown) —
+#: and hourly profiles infer hour slicing anyway.
+_SLICE_RE = re.compile(
+    r"(?:\bslic(?:e[sd]?|ing)(?:\s+\w+)?\s+(?:by|per|on)|\bbroken\s+down\s+(?:by|per)|"
+    r"\bgrouped?\s+by|\bbucketed\s+by)\s+"
+    r"(hour(?:[\s-]of[\s-]day)?|scale|zone|stratum|draw|load[\s-]?level)s?\b"
+    r"|(?:\bper|\bby)\s+(scale|zone|stratum|draw|load[\s-]?level)s?\b",
+    re.I,
+)
+#: Zonal correlated-draw parameters for Monte Carlo studies.
+_ZONES_RE = re.compile(r"(\d+)\s*zones?\b", re.I)
+_CORR_RE = re.compile(
+    r"correlat\w*\s*(?:of|=|:)?\s*(\d+(?:\.\d+)?)\s*(%|percent)?", re.I
+)
+
+
+def _canonical_slice_tag(word: str) -> str:
+    """Canonicalise a matched slice phrase via the shared alias table
+    (:data:`repro.scenarios.generators.SLICE_TAG_ALIASES` — one map for
+    every front end)."""
+    from ..scenarios.generators import SLICE_TAG_ALIASES
+
+    word = re.sub(r"[\s-]+", " ", word.lower()).strip()
+    if word.startswith("hour"):
+        word = "hour"
+    return SLICE_TAG_ALIASES.get(word, word)
 
 #: Study-family keywords -> canonical study kind.  Plural forms matter:
 #: comparison questions say "compare the last two sweeps / ensembles".
@@ -156,6 +186,19 @@ def extract_entities(text: str) -> dict:
         m = _SIGMA_RE.search(text)
         if m:
             ents["sigma_percent"] = float(m.group(1))
+        m = _SLICE_RE.search(text)
+        if m:
+            ents["slice_by"] = _canonical_slice_tag(m.group(1) or m.group(2))
+        m = _ZONES_RE.search(text)
+        if m:
+            ents["n_zones"] = int(m.group(1))
+        m = _CORR_RE.search(text)
+        if m:
+            rho = float(m.group(1))
+            if m.group(2) is None and rho <= 1.0:
+                # "correlated 0.6" is a correlation coefficient, not 0.6 %.
+                rho *= 100.0
+            ents["rho_percent"] = rho
         for analysis, pattern in _ANALYSIS_RES:
             if pattern.search(text):
                 ents["study_analysis"] = analysis

@@ -332,6 +332,11 @@ class SimulatedLLM:
                 return None
             kind = ents.get("study", "monte_carlo")
             analysis = ents.get("study_analysis")
+            # An explicit "slice by hour" style request overrides the
+            # study tool's own family inference; omitted, the tool infers.
+            slice_args = (
+                {"slice_by": ents["slice_by"]} if "slice_by" in ents else {}
+            )
             if kind == "sweep":
                 args = {
                     "case_name": case,
@@ -339,6 +344,7 @@ class SimulatedLLM:
                     "hi_percent": ents.get("sweep_hi_percent", 120.0),
                     "steps": ents.get("n_scenarios", 9),
                     "analysis": analysis or "acopf",
+                    **slice_args,
                 }
                 return [PlannedStep("run_load_sweep_study", args)]
             if kind == "outage":
@@ -349,6 +355,7 @@ class SimulatedLLM:
                             "case_name": case,
                             "limit": ents.get("n_scenarios", 50),
                             "analysis": analysis or "powerflow",
+                            **slice_args,
                         },
                     )
                 ]
@@ -360,20 +367,26 @@ class SimulatedLLM:
                             "case_name": case,
                             "steps": ents.get("n_scenarios", 24),
                             "analysis": analysis or "powerflow",
+                            **slice_args,
                         },
                     )
                 ]
-            return [
-                PlannedStep(
-                    "run_monte_carlo_study",
-                    {
-                        "case_name": case,
-                        "n_scenarios": ents.get("n_scenarios", 200),
-                        "sigma_percent": ents.get("sigma_percent", 5.0),
-                        "analysis": analysis or "powerflow",
-                    },
-                )
-            ]
+            mc_args = {
+                "case_name": case,
+                "n_scenarios": ents.get("n_scenarios", 200),
+                "sigma_percent": ents.get("sigma_percent", 5.0),
+                "analysis": analysis or "powerflow",
+                **slice_args,
+            }
+            # Zonal correlated draws ("4 zones correlated 60%"); a bare
+            # "by zone" request implies zones so the tool can tag them.
+            if "n_zones" in ents:
+                mc_args["n_zones"] = ents["n_zones"]
+            elif ents.get("slice_by") == "hot_zone":
+                mc_args["n_zones"] = 4
+            if "rho_percent" in ents:
+                mc_args["rho_percent"] = ents["rho_percent"]
+            return [PlannedStep("run_monte_carlo_study", mc_args)]
 
         if parsed.intent == Intent.HELP:
             return []

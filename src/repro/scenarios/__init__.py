@@ -28,23 +28,33 @@ Quickstart::
 """
 
 from .aggregate import (
+    DEFAULT_SLICE_MAX_VALUES,
     EXACT_STATS_CAP,
+    OTHER_SLICE,
     P2Quantile,
+    SlicedReducer,
+    SliceSpec,
     StreamingStats,
     StudyAggregate,
     StudyReducer,
     aggregate_study,
     percentile_stats,
+    slice_key,
 )
 from .generators import (
+    FAMILY_SLICE_TAGS,
     STUDY_FAMILY_KINDS,
+    correlation_transform,
     daily_profile,
+    default_slice_by,
     expand_study_kind,
     factorial,
     latin_hypercube,
     load_sweep,
     monte_carlo_ensemble,
     outage_combinations,
+    resolve_slice_by,
+    uniform_correlation,
     with_branch_outage,
 )
 from .runner import (
@@ -65,12 +75,16 @@ from .spec import (
     Scenario,
     ScenarioError,
     UniformLoadScale,
+    ZonalLoadScale,
 )
 from .stream import ScenarioStream, as_stream, child_seed, stream_length
 
 __all__ = [
     "ANALYSES",
+    "DEFAULT_SLICE_MAX_VALUES",
     "EXACT_STATS_CAP",
+    "FAMILY_SLICE_TAGS",
+    "OTHER_SLICE",
     "BatchStudyRunner",
     "BranchOutage",
     "GaussianLoadNoise",
@@ -84,6 +98,8 @@ __all__ = [
     "ScenarioResult",
     "ScenarioStream",
     "STUDY_FAMILY_KINDS",
+    "SlicedReducer",
+    "SliceSpec",
     "StreamingStats",
     "StudyAggregate",
     "StudyConfig",
@@ -91,10 +107,13 @@ __all__ = [
     "StudyReducer",
     "StudyResult",
     "UniformLoadScale",
+    "ZonalLoadScale",
     "aggregate_study",
     "as_stream",
     "child_seed",
+    "correlation_transform",
     "daily_profile",
+    "default_slice_by",
     "expand_study_kind",
     "factorial",
     "latin_hypercube",
@@ -102,6 +121,9 @@ __all__ = [
     "monte_carlo_ensemble",
     "outage_combinations",
     "percentile_stats",
+    "resolve_slice_by",
+    "slice_key",
     "stream_length",
+    "uniform_correlation",
     "with_branch_outage",
 ]

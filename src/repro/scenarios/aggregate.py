@@ -19,6 +19,17 @@ and insertion order — both identical between serial, pooled, and
 streamed execution — all three paths still produce bit-identical
 aggregates.
 
+The reduction is also *dimensional*: scenarios carry ``tags`` (family,
+scale, hour, draw ...) into their per-result records, and a
+:class:`SliceSpec` promotes chosen tag keys to slice dimensions.
+:class:`SlicedReducer` then maintains the global :class:`StudyReducer`
+plus one sub-reducer per observed tag value — bounded cardinality, with
+late-arriving values folded into a ``__other__`` cell — so a study can
+answer "cost vs sweep scale" or "violations vs hour-of-day" without
+retaining a single per-scenario record.  Because cells are keyed by tag
+value and fed in scenario order, serial, pooled, and streamed execution
+produce bit-identical per-slice aggregates, exactly like the global one.
+
 ``aggregate_study(list)`` remains as a thin wrapper over the reducer for
 existing callers and stored result sets.
 """
@@ -33,6 +44,21 @@ from typing import Iterable
 #: switch to P² sketches.  The cap bounds reducer memory at ~3 float
 #: buffers of this size regardless of ensemble size.
 EXACT_STATS_CAP = 2048
+
+#: Default per-dimension cardinality cap for sliced aggregation: enough
+#: for a 24-hour profile or a 9..32-point sweep, small enough that slice
+#: memory stays O(n_slices) whatever the tag actually contains.
+DEFAULT_SLICE_MAX_VALUES = 32
+
+#: Cell key collecting every tag value past the cardinality cap.
+OTHER_SLICE = "__other__"
+
+#: How many *distinct* overflowed tag values a slice dimension tracks for
+#: its ``n_overflow_values`` diagnostic.  Past this, the count saturates
+#: (reported with ``overflow_values_saturated``) instead of growing with
+#: the tag's cardinality — slicing a 1M-draw ensemble by ``draw`` must
+#: stay O(n_slices) resident, not O(n).
+OVERFLOW_VALUE_TRACK_CAP = 1024
 
 
 class P2Quantile:
@@ -208,6 +234,60 @@ def percentile_stats(
     return stats.to_dict()
 
 
+def slice_key(value) -> str:
+    """Canonical string key for one tag value (JSON-stable, repr-free).
+
+    Floats go through ``%g`` so ``0.8`` and ``0.8000000000000001``-style
+    linspace artefacts keep readable keys; everything else uses ``str``.
+    The mapping is pure, so the same tag value lands in the same cell on
+    every execution path.
+    """
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class SliceSpec:
+    """Which tag keys a study slices its aggregates by.
+
+    ``by`` names the scenario-tag dimensions (``"hour_of_day"``,
+    ``"scale"``, ``"hot_zone"`` ...); ``max_values`` caps the distinct
+    values tracked per dimension — the first ``max_values`` observed
+    values get their own cells, everything later folds into
+    :data:`OTHER_SLICE`.  Arrival order is identical across serial,
+    pooled, and streamed execution, so the cell split is deterministic.
+    """
+
+    by: tuple[str, ...] = ()
+    max_values: int = DEFAULT_SLICE_MAX_VALUES
+
+    def __post_init__(self) -> None:
+        if self.max_values < 1:
+            raise ValueError(
+                f"slice cardinality cap must be >= 1, got {self.max_values}"
+            )
+        if isinstance(self.by, str):
+            # tuple("scale") would silently mean five one-letter
+            # dimensions; a bare string is always a caller mistake here
+            # (front ends parse strings via resolve_slice_by).
+            raise ValueError(
+                f"slice dimensions must be a tuple of tag names, got the "
+                f"string {self.by!r} — did you mean ({self.by!r},)?"
+            )
+        object.__setattr__(self, "by", tuple(self.by))
+        seen = set()
+        for dim in self.by:
+            if not dim or not isinstance(dim, str):
+                raise ValueError(f"slice dimensions must be non-empty strings, got {dim!r}")
+            if dim in seen:
+                raise ValueError(f"duplicate slice dimension {dim!r}")
+            seen.add(dim)
+
+    def __bool__(self) -> bool:
+        return bool(self.by)
+
+
 @dataclass
 class StudyAggregate:
     """Cross-scenario summary of one batch study."""
@@ -225,6 +305,9 @@ class StudyAggregate:
     security_cost_stats: dict | None = None  # SCOPF premium over economic
     rank_stability: dict[int, float] = field(default_factory=dict)
     stable_critical: list[int] = field(default_factory=list)
+    #: Per-dimension tag slices (``None`` for an unsliced study): maps
+    #: each :class:`SliceSpec` dimension to its cell table.
+    slices: dict | None = None
 
     def to_dict(self) -> dict:
         out = {
@@ -248,6 +331,8 @@ class StudyAggregate:
                 str(b): round(f, 4) for b, f in self.rank_stability.items()
             }
             out["stable_critical"] = list(self.stable_critical)
+        if self.slices is not None:
+            out["slices"] = self.slices
         return out
 
 
@@ -359,14 +444,156 @@ class StudyReducer:
         )
 
 
-def aggregate_study(results: list, *, exact_cap: int = EXACT_STATS_CAP) -> StudyAggregate:
+class SlicedReducer:
+    """Dimensional ensemble reducer: one global :class:`StudyReducer`
+    plus per-tag-value sub-reducers for every :class:`SliceSpec` dimension.
+
+    Cells are created in arrival order up to ``spec.max_values`` per
+    dimension; later-arriving values share one :data:`OTHER_SLICE` cell.
+    Results whose tags lack a dimension are counted as *unsliced* for it
+    (they still feed the global aggregate).  Every cell is a full
+    :class:`StudyReducer`, so per-slice distribution stats carry the same
+    exact-below-cap / P²-above-cap guarantee — and the same
+    execution-order independence — as the global ones.
+
+    With an empty spec this degenerates to the plain global reducer at
+    one tuple-iteration of overhead per result, so the runner uses it
+    unconditionally.
+    """
+
+    def __init__(
+        self, spec: SliceSpec | None = None, *, exact_cap: int = EXACT_STATS_CAP
+    ) -> None:
+        self.spec = spec or SliceSpec()
+        self.exact_cap = exact_cap
+        self.overall = StudyReducer(exact_cap=exact_cap)
+        # Per dimension: cell reducers in first-seen order (dicts preserve
+        # insertion order), distinct values folded past the cap, and the
+        # count of results missing the tag entirely.
+        self._cells: dict[str, dict[str, StudyReducer]] = {d: {} for d in self.spec.by}
+        self._overflow: dict[str, set[str]] = {d: set() for d in self.spec.by}
+        self._unsliced: dict[str, int] = {d: 0 for d in self.spec.by}
+
+    # ------------------------------------------------------------------
+    def add(self, r) -> None:
+        self.overall.add(r)
+        if not self.spec.by:
+            return
+        tags = r.tags or {}
+        for dim in self.spec.by:
+            if dim not in tags:
+                self._unsliced[dim] += 1
+                continue
+            key = slice_key(tags[dim])
+            cells = self._cells[dim]
+            cell = cells.get(key)
+            if cell is None:
+                n_real = len(cells) - (1 if OTHER_SLICE in cells else 0)
+                if n_real < self.spec.max_values:
+                    cell = cells[key] = StudyReducer(exact_cap=self.exact_cap)
+                else:
+                    # Track distinct overflow values only up to a cap:
+                    # slicing by an unbounded tag (draw index) must not
+                    # grow the reducer with the ensemble.
+                    overflow = self._overflow[dim]
+                    if len(overflow) < OVERFLOW_VALUE_TRACK_CAP:
+                        overflow.add(key)
+                    cell = cells.get(OTHER_SLICE)
+                    if cell is None:
+                        cell = cells[OTHER_SLICE] = StudyReducer(
+                            exact_cap=self.exact_cap
+                        )
+            cell.add(r)
+
+    def add_many(self, results: Iterable) -> None:
+        for r in results:
+            self.add(r)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Cheap mid-study counters (delegates to the global reducer)."""
+        return self.overall.snapshot()
+
+    @staticmethod
+    def _cell_dict(reducer: StudyReducer) -> dict:
+        """Compact per-cell summary: counts, rates, cost/loading stats.
+
+        Deliberately thinner than the global aggregate (no branch
+        frequency maps, no rank stability) so a many-cell slice table —
+        and the store's aggregate-index sidecar that persists it — stays
+        reply-sized.
+        """
+        agg = reducer.result()
+        out = {
+            "n": agg.n_scenarios,
+            "n_converged": agg.n_converged,
+            "n_errors": agg.n_errors,
+            "violation_rate": round(agg.violation_rate, 4),
+            "overload_rate": round(agg.overload_rate, 4),
+            "cost_stats": agg.cost_stats,
+            "loading_stats": agg.loading_stats,
+        }
+        if agg.min_voltage_stats is not None:
+            out["min_voltage_stats"] = agg.min_voltage_stats
+        if agg.security_cost_stats is not None:
+            out["security_cost_stats"] = agg.security_cost_stats
+        return out
+
+    def slices_dict(self) -> dict | None:
+        """JSON-ready slice tables (``None`` when the spec is empty).
+
+        Cells appear in first-seen scenario order — ascending hour for a
+        profile, ascending factor for a sweep — with the overflow cell,
+        when present, last.
+        """
+        if not self.spec.by:
+            return None
+        out: dict = {}
+        for dim in self.spec.by:
+            cells = self._cells[dim]
+            ordered = [k for k in cells if k != OTHER_SLICE]
+            if OTHER_SLICE in cells:
+                ordered.append(OTHER_SLICE)
+            block = {
+                "by": dim,
+                "n_cells": len(ordered),
+                "max_values": self.spec.max_values,
+                "n_overflow_values": len(self._overflow[dim]),
+                "n_unsliced": self._unsliced[dim],
+                "cells": [
+                    {"value": key, **self._cell_dict(cells[key])} for key in ordered
+                ],
+            }
+            if len(self._overflow[dim]) >= OVERFLOW_VALUE_TRACK_CAP:
+                block["overflow_values_saturated"] = True
+            out[dim] = block
+        return out
+
+    def result(self) -> StudyAggregate:
+        """Global aggregate with the slice tables attached."""
+        agg = self.overall.result()
+        agg.slices = self.slices_dict()
+        return agg
+
+
+def aggregate_study(
+    results: list,
+    *,
+    exact_cap: int = EXACT_STATS_CAP,
+    slice_spec: SliceSpec | None = None,
+) -> StudyAggregate:
     """Reduce a list of :class:`~repro.scenarios.runner.ScenarioResult`.
 
-    Thin wrapper over :class:`StudyReducer`, kept for every caller that
+    Thin wrapper over :class:`StudyReducer` (or :class:`SlicedReducer`
+    when ``slice_spec`` names dimensions), kept for every caller that
     still holds a materialised result list (stored result sets, tests,
     comparisons); the streamed and list-based reductions are the same
     code path by construction.
     """
+    if slice_spec is not None and slice_spec.by:
+        sliced = SlicedReducer(slice_spec, exact_cap=exact_cap)
+        sliced.add_many(results)
+        return sliced.result()
     reducer = StudyReducer(exact_cap=exact_cap)
     reducer.add_many(results)
     return reducer.result()

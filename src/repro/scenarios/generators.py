@@ -20,7 +20,13 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from ..grid.network import Network
-from .spec import BranchOutage, GaussianLoadNoise, Scenario, UniformLoadScale
+from .spec import (
+    BranchOutage,
+    GaussianLoadNoise,
+    Scenario,
+    UniformLoadScale,
+    ZonalLoadScale,
+)
 from .stream import ScenarioStream, as_stream, child_seed, stream_length
 
 
@@ -42,29 +48,110 @@ def load_sweep(lo: float = 0.8, hi: float = 1.2, steps: int = 9) -> ScenarioStre
     return ScenarioStream(gen, length=steps, family="sweep")
 
 
+def uniform_correlation(n_zones: int, rho: float) -> list[list[float]]:
+    """Equicorrelation matrix: ``rho`` between every zone pair, 1 on the
+    diagonal.  PSD for ``-1/(Z-1) <= rho <= 1`` (validated downstream by
+    :func:`correlation_transform`)."""
+    if n_zones < 1:
+        raise ValueError(f"need at least one zone, got {n_zones}")
+    return [
+        [1.0 if i == j else float(rho) for j in range(n_zones)]
+        for i in range(n_zones)
+    ]
+
+
+def correlation_transform(correlation) -> np.ndarray:
+    """Validate a zonal load correlation matrix and return its transform.
+
+    Checks square shape, a unit diagonal, symmetry, and positive
+    semi-definiteness, then returns the matrix ``L`` (Cholesky-style,
+    eigen-based so exactly-singular PSD matrices work too) with
+    ``L @ L.T == correlation`` — correlated zone draws are ``L @ z`` for
+    i.i.d. standard normals ``z``.
+    """
+    corr = np.asarray(correlation, dtype=float)
+    if corr.ndim != 2 or corr.shape[0] != corr.shape[1]:
+        raise ValueError(
+            f"correlation must be a square matrix, got shape {corr.shape}"
+        )
+    if not np.allclose(np.diag(corr), 1.0, atol=1e-8):
+        raise ValueError("correlation matrix must have a unit diagonal")
+    if not np.allclose(corr, corr.T, atol=1e-8):
+        raise ValueError("correlation matrix must be symmetric")
+    eigvals, eigvecs = np.linalg.eigh(corr)
+    if eigvals.min() < -1e-8 * max(1.0, float(eigvals.max())):
+        raise ValueError(
+            "correlation matrix must be positive semi-definite "
+            f"(min eigenvalue {eigvals.min():.3g})"
+        )
+    return eigvecs * np.sqrt(np.clip(eigvals, 0.0, None))
+
+
 def monte_carlo_ensemble(
-    n: int = 200, sigma: float = 0.05, seed: int = 0
+    n: int = 200,
+    sigma: float = 0.05,
+    seed: int = 0,
+    correlation=None,
 ) -> ScenarioStream:
     """``n`` independent Gaussian load draws around the base point.
 
     Child seeds are hash-derived per draw index, so draw ``i`` realises
     the same network whether the ensemble has 10 or 10 000 members and
     wherever in the stream it is consumed.
+
+    ``correlation`` (optional) switches to *zonal correlated* draws: a
+    ``Z x Z`` load correlation matrix (validated PSD) is Cholesky-
+    transformed so each scenario draws one factor per zone, correlated
+    across zones, applied through :class:`~repro.scenarios.spec
+    .ZonalLoadScale` (buses partitioned into ``Z`` contiguous bands).
+    Scenarios are tagged with ``n_zones`` and ``hot_zone`` — the zone
+    with the largest realised factor — so sliced aggregation can answer
+    "how do violations split by the zone driving the stress".
     """
     if n < 1:
         raise ValueError(f"ensemble size must be >= 1, got {n}")
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
     width = max(3, len(str(n - 1)))
 
-    def gen() -> Iterator[Scenario]:
+    if correlation is None:
+
+        def gen() -> Iterator[Scenario]:
+            for i in range(n):
+                cseed = child_seed(seed, i)
+                yield Scenario(
+                    name=f"mc_{i:0{width}d}",
+                    perturbations=(GaussianLoadNoise(float(sigma), cseed),),
+                    tags={"family": "monte_carlo", "draw": i, "seed": cseed, "index": i},
+                )
+
+        return ScenarioStream(gen, length=n, family="monte_carlo")
+
+    transform = correlation_transform(correlation)
+    n_zones = transform.shape[0]
+
+    def gen_correlated() -> Iterator[Scenario]:
         for i in range(n):
             cseed = child_seed(seed, i)
+            rng = np.random.default_rng(cseed)
+            draw = transform @ rng.standard_normal(n_zones)
+            factors = np.maximum(0.0, 1.0 + sigma * draw)
             yield Scenario(
                 name=f"mc_{i:0{width}d}",
-                perturbations=(GaussianLoadNoise(float(sigma), cseed),),
-                tags={"family": "monte_carlo", "draw": i, "seed": cseed, "index": i},
+                perturbations=(
+                    ZonalLoadScale(tuple(float(f) for f in factors)),
+                ),
+                tags={
+                    "family": "monte_carlo",
+                    "draw": i,
+                    "seed": cseed,
+                    "index": i,
+                    "n_zones": n_zones,
+                    "hot_zone": int(np.argmax(factors)),
+                },
             )
 
-    return ScenarioStream(gen, length=n, family="monte_carlo")
+    return ScenarioStream(gen_correlated, length=n, family="monte_carlo")
 
 
 def latin_hypercube(
@@ -145,7 +232,9 @@ def daily_profile(
     """A daily load curve: cosine shape with a 4 am trough and 4 pm peak.
 
     ``steps`` samples one day uniformly (24 -> hourly); each step scales
-    all loads by a factor in [trough, peak].
+    all loads by a factor in [trough, peak].  Each scenario carries an
+    integer ``hour_of_day`` tag (0..23) alongside the exact fractional
+    ``hour``, so sub-hourly profiles still slice into 24 hourly buckets.
     """
     if steps < 1:
         raise ValueError(f"profile needs at least 1 step, got {steps}")
@@ -160,7 +249,13 @@ def daily_profile(
             yield Scenario(
                 name=f"hour_{hour:04.1f}".replace(".", "h"),
                 perturbations=(UniformLoadScale(round(factor, 6)),),
-                tags={"family": "profile", "hour": hour, "scale": factor, "index": i},
+                tags={
+                    "family": "profile",
+                    "hour": hour,
+                    "hour_of_day": int(hour) % 24,
+                    "scale": factor,
+                    "index": i,
+                },
             )
 
     return ScenarioStream(gen, length=steps, family="profile")
@@ -186,6 +281,74 @@ def with_branch_outage(
 #: Families :func:`expand_study_kind` can build from a flat request.
 STUDY_FAMILY_KINDS = ("sweep", "monte_carlo", "lhs", "outage", "profile")
 
+#: Natural bounded-cardinality slice dimension per family tag schema.
+#: Families without one (Monte Carlo draws, LHS strata, outage pairs are
+#: all per-scenario-distinct) infer no slicing; correlated Monte Carlo
+#: ensembles carry a ``hot_zone`` tag that must be requested explicitly.
+FAMILY_SLICE_TAGS: dict[str, tuple[str, ...]] = {
+    "sweep": ("scale",),
+    "load_sweep": ("scale",),
+    "profile": ("hour_of_day",),
+    "daily_profile": ("hour_of_day",),
+}
+
+#: Conversational aliases -> canonical scenario-tag names.
+SLICE_TAG_ALIASES: dict[str, str] = {
+    "hour": "hour_of_day",
+    "hour-of-day": "hour_of_day",
+    "hour of day": "hour_of_day",
+    "zone": "hot_zone",
+    "hot zone": "hot_zone",
+    "load level": "scale",
+    "load-level": "scale",
+    "level": "scale",
+    "factor": "scale",
+}
+
+
+def default_slice_by(kind: str, *, n_zones: int = 0) -> tuple[str, ...]:
+    """The slice dimensions a study family implies (possibly none).
+
+    A Monte Carlo family with zonal correlated draws (``n_zones >= 2``)
+    naturally slices by the stress-driving ``hot_zone`` tag; this is the
+    one place that rule lives for every front end.
+    """
+    kind = kind.replace("-", "_")
+    inferred = FAMILY_SLICE_TAGS.get(kind, ())
+    if not inferred and kind == "monte_carlo" and n_zones >= 2:
+        return ("hot_zone",)
+    return inferred
+
+
+def resolve_slice_by(spec, kind: str = "", *, n_zones: int = 0) -> tuple[str, ...]:
+    """Normalise any front end's slice request into canonical tag names.
+
+    ``spec`` may be ``None`` (infer from the family via
+    :func:`default_slice_by`), a comma-separated string, or a sequence of
+    tag names; ``"none"``/``"off"`` (or an empty sequence) disables
+    slicing explicitly.  Aliases like ``hour`` or ``zone`` map to the
+    canonical scenario tags.
+    """
+    if spec is None:
+        return default_slice_by(kind, n_zones=n_zones)
+    if isinstance(spec, str):
+        lowered = spec.strip().lower()
+        if lowered in ("", "auto"):
+            return default_slice_by(kind, n_zones=n_zones)
+        if lowered in ("none", "off"):
+            return ()
+        parts = [p.strip() for p in spec.split(",")]
+    else:
+        parts = [str(p).strip() for p in spec]
+    out: list[str] = []
+    for part in parts:
+        if not part:
+            continue
+        tag = SLICE_TAG_ALIASES.get(part.lower(), part)
+        if tag not in out:
+            out.append(tag)
+    return tuple(out)
+
 
 def expand_study_kind(
     kind: str,
@@ -197,6 +360,8 @@ def expand_study_kind(
     sigma_percent: float = 5.0,
     seed: int = 0,
     depth: int = 2,
+    n_zones: int = 0,
+    rho_percent: float = 0.0,
 ) -> ScenarioStream:
     """One study-kind -> scenario-stream factory for every front end.
 
@@ -205,9 +370,23 @@ def expand_study_kind(
     flat way (kind + percent-scaled knobs); this is the single place
     that mapping lives.  ``n_scenarios`` means draws (monte_carlo/lhs),
     steps (sweep/profile), or the combination cap (outage), matching
-    each family's natural count.
+    each family's natural count.  ``n_zones >= 2`` switches Monte Carlo
+    to zonal correlated draws (equicorrelation ``rho_percent`` across
+    zones, each scenario tagged with its stress-driving ``hot_zone``).
     """
     kind = kind.replace("-", "_")
+    if n_zones >= 2 and kind != "monte_carlo":
+        raise ValueError(
+            f"zonal correlated draws (n_zones={n_zones}) apply to "
+            "monte_carlo studies only"
+        )
+    if n_zones > net.n_bus:
+        # More zones than buses would leave empty bus bands whose drawn
+        # factors scale nothing yet could still win the hot_zone argmax.
+        raise ValueError(
+            f"n_zones={n_zones} exceeds the case's {net.n_bus} buses; "
+            "every zone must contain at least one bus"
+        )
     if kind == "sweep":
         return load_sweep(lo_percent / 100.0, hi_percent / 100.0, n_scenarios or 9)
     if kind == "profile":
@@ -222,8 +401,16 @@ def expand_study_kind(
             seed=seed,
         )
     if kind == "monte_carlo":
+        correlation = (
+            uniform_correlation(n_zones, rho_percent / 100.0)
+            if n_zones >= 2
+            else None
+        )
         return monte_carlo_ensemble(
-            n=n_scenarios or 200, sigma=sigma_percent / 100.0, seed=seed
+            n=n_scenarios or 200,
+            sigma=sigma_percent / 100.0,
+            seed=seed,
+            correlation=correlation,
         )
     raise ValueError(
         f"unknown study kind {kind!r}; use one of {STUDY_FAMILY_KINDS}"

@@ -49,7 +49,13 @@ from ..contingency.ranking import rank_critical_elements
 from ..contingency.screening import screen_dc
 from ..grid import graph as gridgraph
 from ..grid.network import Network
-from .aggregate import StudyAggregate, StudyReducer, aggregate_study
+from .aggregate import (
+    DEFAULT_SLICE_MAX_VALUES,
+    SlicedReducer,
+    SliceSpec,
+    StudyAggregate,
+    aggregate_study,
+)
 from .spec import Scenario, ScenarioError
 from .stream import as_stream, stream_length
 
@@ -199,6 +205,7 @@ class StudyResult:
     worst_results: list[ScenarioResult] | None = None
     n_progress_events: int = 0
     peak_resident_results: int | None = None
+    slice_spec: SliceSpec | None = None  # dimensional aggregation, if any
     _aggregate: StudyAggregate | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -207,7 +214,9 @@ class StudyResult:
 
     def aggregate(self) -> StudyAggregate:
         if self._aggregate is None:
-            self._aggregate = aggregate_study(self.results)
+            self._aggregate = aggregate_study(
+                self.results, slice_spec=self.slice_spec
+            )
         return self._aggregate
 
     def worst(self, n: int = 5) -> list[ScenarioResult]:
@@ -236,7 +245,15 @@ class StudyResult:
 
 @dataclass(frozen=True)
 class StudyConfig:
-    """Per-study analysis knobs, shipped once to each worker."""
+    """Per-study analysis knobs, shipped once to each worker.
+
+    ``slice_by``/``slice_max_values`` declare the study's dimensional
+    aggregation (see :class:`~repro.scenarios.aggregate.SliceSpec`); the
+    parent-side reducer consumes them.  They ride along here so one
+    validated bundle carries the whole study definition, but the store's
+    spec hash deliberately excludes them — slicing shapes the derived
+    aggregate index, not the per-scenario results.
+    """
 
     analysis: str = "powerflow"
     overload_threshold: float = 100.0
@@ -244,6 +261,11 @@ class StudyConfig:
     vmax: float = 1.06
     ac_budget: int = 20
     top_n: int = 5
+    slice_by: tuple[str, ...] = ()
+    slice_max_values: int = DEFAULT_SLICE_MAX_VALUES
+
+    def slice_spec(self) -> SliceSpec:
+        return SliceSpec(by=tuple(self.slice_by), max_values=self.slice_max_values)
 
 
 class _WorkerState:
@@ -582,6 +604,11 @@ class BatchStudyRunner:
     executor: object | None = None  # shared StudyExecutor (service layer)
     window: int | None = None  # max in-flight chunks (pool paths)
     worst_k: int = DEFAULT_WORST_K
+    #: Tag dimensions for sliced aggregation: a tuple of tag names, or a
+    #: comma-separated string of names/aliases ("hour, zone") which is
+    #: parsed through :func:`~repro.scenarios.generators.resolve_slice_by`.
+    slice_by: tuple[str, ...] | str = ()
+    slice_max_values: int = DEFAULT_SLICE_MAX_VALUES
 
     def config(self) -> StudyConfig:
         """The validated per-study knob bundle shipped to every worker."""
@@ -589,14 +616,23 @@ class BatchStudyRunner:
             raise ValueError(
                 f"unknown analysis {self.analysis!r}; use one of {ANALYSES}"
             )
-        return StudyConfig(
+        slice_by = self.slice_by
+        if isinstance(slice_by, str):
+            from .generators import resolve_slice_by
+
+            slice_by = resolve_slice_by(slice_by)
+        config = StudyConfig(
             analysis=self.analysis,
             overload_threshold=self.overload_threshold,
             vmin=self.vmin,
             vmax=self.vmax,
             ac_budget=self.ac_budget,
             top_n=self.top_n,
+            slice_by=tuple(slice_by),
+            slice_max_values=self.slice_max_values,
         )
+        config.slice_spec()  # validate dimensions/cap before dispatch
+        return config
 
     # ------------------------------------------------------------------
     def _serial_chunks(
@@ -644,17 +680,17 @@ class BatchStudyRunner:
 
         if self.executor is not None and (total is None or total >= 2):
             jobs = getattr(self.executor, "max_workers", 1)
-            # Mirror the executor's chunk/window fallbacks so the
-            # residency bound below accounts for its undrained futures.
-            chunk = (
-                self.chunk_size
-                or getattr(self.executor, "chunk_size", None)
-                or default_chunk_size(total, jobs)
-            )
-            window = max(
-                1,
-                self.window or getattr(self.executor, "window", None) or 2 * jobs,
-            )
+            # Ask the executor for its chunk/window plan so the residency
+            # bound below accounts for its undrained futures (duck-typed;
+            # executors without one get the per-run defaults).
+            plan = getattr(self.executor, "dispatch_plan", None)
+            if plan is not None:
+                chunk, window = plan(
+                    total, chunk_size=self.chunk_size, window=self.window
+                )
+            else:
+                chunk = self.chunk_size or default_chunk_size(total, jobs)
+                window = max(1, self.window or 2 * jobs)
             in_flight_extra = (window - 1) * chunk
             chunk_iter = self.executor.run_study_iter(
                 base, config, scenarios,
@@ -674,7 +710,9 @@ class BatchStudyRunner:
                 base, config, scenarios, chunk, jobs, window
             )
 
-        reducer = StudyReducer()
+        # The dimensional reducer degenerates to the plain global one for
+        # an empty slice spec, so every study takes the same path.
+        reducer = SlicedReducer(config.slice_spec())
         heap = _WorstK(self.worst_k)
         kept: list[ScenarioResult] | None = [] if keep_results else None
         n_done = 0
@@ -723,5 +761,6 @@ class BatchStudyRunner:
             worst_results=heap.worst(),
             n_progress_events=n_events,
             peak_resident_results=peak_resident,
+            slice_spec=config.slice_spec() if config.slice_by else None,
             _aggregate=reducer.result(),
         )

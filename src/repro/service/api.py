@@ -14,6 +14,7 @@ import hashlib
 
 from pydantic import BaseModel, Field
 
+from ..scenarios.aggregate import DEFAULT_SLICE_MAX_VALUES
 from ..scenarios.generators import STUDY_FAMILY_KINDS
 
 #: Scenario families the service can expand server-side (the shared
@@ -96,6 +97,33 @@ class StudyRequest(BaseModel):
     depth: int = Field(default=2, ge=1, le=3)
     seed: int = Field(default=0, ge=0)
     label: str = Field(default="", description="free-text tag kept in the store")
+    n_zones: int = Field(
+        default=0,
+        ge=0,
+        le=32,
+        description="monte_carlo only: zonal correlated draws over this many "
+        "contiguous bus zones (0 = independent per-load noise)",
+    )
+    rho_percent: float = Field(
+        default=0.0,
+        ge=-100.0,
+        le=100.0,
+        description="inter-zone load correlation, % (with n_zones >= 2)",
+    )
+    slice_by: list[str] | None = Field(
+        default=None,
+        description=(
+            "tag dimensions for sliced aggregation ('hour_of_day', 'scale', "
+            "'hot_zone' ...; aliases like 'hour'/'zone' accepted); None "
+            "infers the family's natural dimension, [] disables slicing"
+        ),
+    )
+    slice_max_values: int = Field(
+        default=DEFAULT_SLICE_MAX_VALUES,
+        ge=1,
+        le=512,
+        description="per-dimension cardinality cap (overflow folds into __other__)",
+    )
 
 
 class StudyReply(BaseModel):
@@ -114,6 +142,10 @@ class StudyReply(BaseModel):
     n_scenarios: int
     n_jobs: int = 1
     runtime_s: float = 0.0
+    #: The resolved slice dimensions the study aggregated over (post
+    #: alias normalisation and family inference); the cell tables live in
+    #: ``summary["aggregate"]["slices"]``.
+    slice_by: list[str] = Field(default_factory=list)
     summary: dict = Field(default_factory=dict)
     n_progress_events: int = 0
     progress: list[dict] = Field(default_factory=list)

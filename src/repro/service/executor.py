@@ -157,6 +157,29 @@ class StudyExecutor:
             self.pools_started += 1
         return self._pool
 
+    def dispatch_plan(
+        self,
+        total: int | None,
+        *,
+        chunk_size: int | None = None,
+        window: int | None = None,
+    ) -> tuple[int, int]:
+        """Resolve the (chunk size, in-flight window) a study will use.
+
+        The single source of truth for the executor's dispatch geometry:
+        :meth:`run_study_iter` submits with it, and
+        :class:`~repro.scenarios.runner.BatchStudyRunner` consults it for
+        its resident-results bound — keeping the two layers' views of
+        chunking identical matters because order-preserving, identically-
+        chunked dispatch is what makes tag-sliced aggregation bit-equal
+        across serial, pooled, and streamed execution.
+        """
+        chunk = chunk_size or self.chunk_size or default_chunk_size(total, self.max_workers)
+        window = max(
+            1, window or self.window or self.WINDOW_PER_WORKER * self.max_workers
+        )
+        return chunk, window
+
     def run_study_iter(
         self,
         base: Network,
@@ -180,12 +203,9 @@ class StudyExecutor:
             return
         key = study_state_key(base, config)
         blob = pickle.dumps(base, protocol=pickle.HIGHEST_PROTOCOL)
-        chunk = (
-            chunk_size
-            or self.chunk_size
-            or default_chunk_size(total, self.max_workers)
+        chunk, window = self.dispatch_plan(
+            total, chunk_size=chunk_size, window=window
         )
-        window = max(1, window or self.window or self.WINDOW_PER_WORKER * self.max_workers)
         chunks = iter_chunks(scenarios, chunk)
 
         def submit(c: list[Scenario]):

@@ -203,12 +203,15 @@ class GridMindService:
         self, request: StudyRequest, progress=None
     ) -> StudyReply:
         from ..grid.cases import load_case
-        from ..scenarios import BatchStudyRunner, expand_study_kind
+        from ..scenarios import BatchStudyRunner, expand_study_kind, resolve_slice_by
 
         if request.kind not in STUDY_KINDS:
             raise ValueError(
                 f"unknown study kind {request.kind!r}; use one of {STUDY_KINDS}"
             )
+        slice_by = resolve_slice_by(
+            request.slice_by, request.kind, n_zones=request.n_zones
+        )
         net = load_case(request.case_name)
         scenarios = expand_study_kind(
             request.kind,
@@ -219,6 +222,8 @@ class GridMindService:
             sigma_percent=request.sigma_percent,
             seed=request.seed,
             depth=request.depth,
+            n_zones=request.n_zones,
+            rho_percent=request.rho_percent,
         )
         events: list[dict] = []
 
@@ -229,8 +234,13 @@ class GridMindService:
 
         # The full record list is only retained when a store will persist
         # it; otherwise the study streams through the reducer and holds
-        # O(in-flight window + worst-K) results at peak.
-        runner = BatchStudyRunner(analysis=request.analysis, executor=self.executor)
+        # O(in-flight window + worst-K + n_slices) results at peak.
+        runner = BatchStudyRunner(
+            analysis=request.analysis,
+            executor=self.executor,
+            slice_by=slice_by,
+            slice_max_values=request.slice_max_values,
+        )
         study = runner.run(
             net,
             scenarios,
@@ -259,6 +269,7 @@ class GridMindService:
             n_scenarios=study.n_scenarios,
             n_jobs=study.n_jobs,
             runtime_s=study.runtime_s,
+            slice_by=list(slice_by),
             summary=summary,
             n_progress_events=len(events),
             progress=thin_progress(events),

@@ -21,6 +21,15 @@ root), written atomically via a temp-file rename.  JSON round-trips
 Python floats exactly (shortest-repr encoding), so a reloaded result set
 is bit-identical to what the runner produced — a property the test suite
 asserts.
+
+Each study also gets a compact **aggregate-index sidecar**
+(``<key>.index``): the full (possibly tag-sliced) ensemble aggregate
+plus a small worst-scenario slice and the results checksum.  Aggregate
+questions — :meth:`ResultStore.compare`, :meth:`latest_summary` —
+answer from indexes alone, so their cost scales with the study *count*,
+never the stored per-scenario result bytes; a missing or unreadable
+index is rebuilt from the payload on demand, and :meth:`verify` reports
+missing/stale indexes (optionally rebuilding them).
 """
 
 from __future__ import annotations
@@ -37,11 +46,29 @@ from pathlib import Path
 
 from ..contingency.cache import network_content_hash
 from ..grid.network import Network
-from ..scenarios.aggregate import aggregate_study
+from ..scenarios.aggregate import (
+    DEFAULT_SLICE_MAX_VALUES,
+    SliceSpec,
+    aggregate_study,
+)
 from ..scenarios.runner import ScenarioResult, StudyConfig, StudyResult
 from ..scenarios.spec import Scenario
 
 FORMAT = "gridmind-study-v1"
+INDEX_FORMAT = "gridmind-study-index-v1"
+
+
+def slice_spec_from_config(config: dict | None) -> SliceSpec:
+    """Reconstruct a study's :class:`SliceSpec` from its stored config.
+
+    Pre-slicing payloads have no ``slice_by`` entry and fall back to the
+    empty spec, so old stores index (and re-aggregate) exactly as before.
+    """
+    config = config or {}
+    return SliceSpec(
+        by=tuple(config.get("slice_by") or ()),
+        max_values=int(config.get("slice_max_values") or DEFAULT_SLICE_MAX_VALUES),
+    )
 
 
 class StudyNotFound(KeyError):
@@ -55,9 +82,21 @@ def _results_digest(results: list[dict]) -> str:
 
 
 def spec_hash(config: StudyConfig, scenarios: list[Scenario]) -> str:
-    """Deterministic digest of a study definition (config + scenarios)."""
+    """Deterministic digest of a study definition (config + scenarios).
+
+    The slice declaration (``slice_by``/``slice_max_values``) is
+    excluded: it shapes the derived aggregate index, never the
+    per-scenario results, so re-running the same physics with a
+    different slicing overwrites one entry (the index sidecar is
+    refreshed with the new slices) instead of duplicating a multi-MB
+    payload — and keys minted before slicing existed keep matching.
+    """
     canon = {
-        "config": dataclasses.asdict(config),
+        "config": {
+            k: v
+            for k, v in dataclasses.asdict(config).items()
+            if not k.startswith("slice_")
+        },
         "scenarios": [
             {
                 "name": s.name,
@@ -118,6 +157,9 @@ class ResultStore:
         # Deliberately not *.json so directory listings can glob payloads
         # and sidecars separately.
         return self.root / f"{key}.meta"
+
+    def _index_path(self, key: str) -> Path:
+        return self.root / f"{key}.index"
 
     def _write_atomic(self, path: Path, text: str) -> None:
         """Write via a unique temp file + rename: concurrent puts of the
@@ -180,23 +222,50 @@ class ResultStore:
             runtime_s=study.runtime_s,
         )
         records = [dataclasses.asdict(r) for r in study.results]
+        digest = _results_digest(records)
         payload = {
             "format": FORMAT,
             **dataclasses.asdict(meta),
             "network_hash": net_hash,
             "spec_hash": sp_hash,
             "config": dataclasses.asdict(config),
-            "results_digest": _results_digest(records),
+            "results_digest": digest,
             "results": records,
         }
         self._write_atomic(self._path(key), json.dumps(payload, default=str))
+        # Aggregate-index sidecar: the (possibly sliced) ensemble
+        # aggregate plus a small worst-scenario slice, checksummed
+        # against the payload records — what compare/latest_summary read
+        # instead of the payload.  Written after the payload so an index
+        # never points at a missing one.
+        self._write_index(
+            key, self._index_doc(key, study.aggregate().to_dict(), study.worst(5), digest)
+        )
         # Sidecar metadata keeps directory listings O(studies), not
-        # O(total stored result bytes); written second so a sidecar
-        # never points at a missing payload.
+        # O(total stored result bytes).
         self._write_atomic(
             self._meta_path(key), json.dumps(dataclasses.asdict(meta))
         )
         return key
+
+    @staticmethod
+    def _index_doc(
+        key: str, aggregate: dict, worst: list[ScenarioResult], digest: str
+    ) -> dict:
+        """The one place the index document's shape is defined — both
+        :meth:`put` and the rebuild path compose it here, so a rebuilt
+        index is identical to a put-written one by construction."""
+        return {
+            "format": INDEX_FORMAT,
+            "key": key,
+            "results_digest": digest,
+            "aggregate": aggregate,
+            "worst_scenarios": [r.to_dict() for r in worst],
+        }
+
+    def _write_index(self, key: str, index: dict) -> dict:
+        self._write_atomic(self._index_path(key), json.dumps(index, default=str))
+        return index
 
     # ------------------------------------------------------------------
     # read
@@ -216,13 +285,73 @@ class ResultStore:
         """Reconstruct the full :class:`StudyResult` for ``key``."""
         payload = self.get(key)
         results = [ScenarioResult(**r) for r in payload["results"]]
+        slice_spec = slice_spec_from_config(payload.get("config"))
         return StudyResult(
             case_name=payload["case_name"],
             analysis=payload["analysis"],
             results=results,
             runtime_s=payload["runtime_s"],
             n_jobs=payload["n_jobs"],
+            slice_spec=slice_spec if slice_spec.by else None,
         )
+
+    # ------------------------------------------------------------------
+    # aggregate indexes
+    # ------------------------------------------------------------------
+    def _read_index(self, key: str) -> dict | None:
+        """The raw index sidecar for ``key``, or ``None`` if unusable."""
+        path = self._index_path(key)
+        try:
+            index = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if index.get("format") != INDEX_FORMAT or index.get("key") != key:
+            return None
+        if not isinstance(index.get("aggregate"), dict):
+            return None
+        return index
+
+    def _compute_index(self, key: str, payload: dict | None = None) -> dict:
+        """Recompute one study's index document from its payload (no I/O
+        beyond reading the payload).
+
+        The only path that touches the full payload: the aggregate is
+        re-sliced with the spec the payload's config declares, so a
+        recomputed index is identical to the one :meth:`put` wrote.
+        """
+        payload = payload if payload is not None else self.get(key)
+        results = [ScenarioResult(**r) for r in payload.get("results", [])]
+        aggregate = aggregate_study(
+            results, slice_spec=slice_spec_from_config(payload.get("config"))
+        ).to_dict()
+        worst = sorted(results, key=lambda r: -r.max_loading_percent)[:5]
+        digest = payload.get("results_digest") or _results_digest(
+            payload.get("results", [])
+        )
+        return self._index_doc(key, aggregate, worst, digest)
+
+    def rebuild_index(self, key: str, payload: dict | None = None) -> dict:
+        """Recompute and persist one study's index sidecar (raises when
+        the store directory is not writable — :meth:`verify` wants that
+        surfaced, the read paths below use the best-effort variant)."""
+        return self._write_index(key, self._compute_index(key, payload))
+
+    def _index_or_rebuild(self, key: str) -> dict:
+        """The index for ``key``; a missing/unreadable sidecar is
+        recomputed in memory and written back best-effort, so read-only
+        paths (:meth:`compare`, :meth:`latest_summary`) keep answering on
+        stores this process cannot write to."""
+        index = self._read_index(key)
+        if index is None:
+            index = self._compute_index(key)
+            with contextlib.suppress(OSError):
+                self._write_index(key, index)
+        return index
+
+    def aggregate_index(self, ref: str) -> dict:
+        """The aggregate index for ``ref`` (key/prefix/label), rebuilding
+        from the payload only when the sidecar is missing or unreadable."""
+        return self._index_or_rebuild(self.resolve(ref))
 
     @staticmethod
     def _meta_from(payload: dict) -> StoredStudyMeta:
@@ -301,26 +430,34 @@ class ResultStore:
 
         The payload mirrors what the study tools deposit into
         ``AgentContext.study_summary``, so a fresh session can answer
-        study-status questions from disk alone.
+        study-status questions from disk alone — served entirely from
+        the meta + aggregate-index sidecars, never the full result set.
         """
         entries = self.list_studies()
         if not entries:
             return None
         meta = entries[-1]
-        result = self.load_result(meta.key)
-        summary = result.to_dict(max_scenarios=5)
-        summary["study_kind"] = meta.study_kind
-        summary["study_key"] = meta.key
-        summary["source"] = "result_store"
-        return summary
+        index = self._index_or_rebuild(meta.key)
+        return {
+            "case_name": meta.case_name,
+            "analysis": meta.analysis,
+            "n_scenarios": meta.n_scenarios,
+            "n_jobs": meta.n_jobs,
+            "runtime_s": round(meta.runtime_s, 3),
+            "aggregate": index["aggregate"],
+            "worst_scenarios": (index.get("worst_scenarios") or [])[:5],
+            "study_kind": meta.study_kind,
+            "study_key": meta.key,
+            "source": "result_store",
+        }
 
     # ------------------------------------------------------------------
     # lifecycle: retention and integrity
     # ------------------------------------------------------------------
     def _entry_bytes(self, key: str) -> int:
-        """On-disk footprint of one study (payload + sidecar)."""
+        """On-disk footprint of one study (payload + both sidecars)."""
         size = 0
-        for path in (self._path(key), self._meta_path(key)):
+        for path in (self._path(key), self._meta_path(key), self._index_path(key)):
             try:
                 size += path.stat().st_size
             except OSError:
@@ -328,7 +465,7 @@ class ResultStore:
         return size
 
     def _delete(self, key: str) -> None:
-        for path in (self._path(key), self._meta_path(key)):
+        for path in (self._path(key), self._meta_path(key), self._index_path(key)):
             with contextlib.suppress(OSError):
                 path.unlink()
 
@@ -371,7 +508,7 @@ class ResultStore:
             "bytes_kept": sum(self._entry_bytes(m.key) for m in kept),
         }
 
-    def verify(self) -> dict:
+    def verify(self, *, rebuild_indexes: bool = False) -> dict:
         """Integrity-check every stored study against its content-hash key.
 
         Checks, per payload: parseable JSON in the current format, the
@@ -380,9 +517,18 @@ class ResultStore:
         predate it), record-count consistency, and that every record
         reconstructs as a :class:`ScenarioResult`.  Sidecars pointing at
         missing payloads are reported as orphans (and are safe to prune).
+
+        Aggregate-index sidecars are verified too: a missing, unreadable,
+        or stale index (its ``results_digest`` no longer matching the
+        payload's records) is reported under ``index_issues`` — and
+        rebuilt from the payload when ``rebuild_indexes=True``, so a
+        verify pass can bring an old or damaged store back to
+        index-served comparisons.
         """
         ok: list[str] = []
         corrupt: list[dict] = []
+        index_issues: list[dict] = []
+        n_rebuilt = 0
         for path in sorted(self.root.glob("*.json")):
             key = path.stem
             try:
@@ -409,11 +555,21 @@ class ResultStore:
                     ScenarioResult(**r)
             except (OSError, json.JSONDecodeError, TypeError, ValueError) as exc:
                 corrupt.append({"key": key, "error": str(exc)})
-            else:
-                ok.append(key)
+                continue
+            ok.append(key)
+            issue = self._index_issue(key, payload)
+            if issue is not None:
+                if rebuild_indexes:
+                    self.rebuild_index(key, payload)
+                    issue["rebuilt"] = True
+                    n_rebuilt += 1
+                index_issues.append(issue)
         payload_keys = {p.stem for p in self.root.glob("*.json")}
         orphans = sorted(
             p.stem for p in self.root.glob("*.meta") if p.stem not in payload_keys
+        )
+        orphan_indexes = sorted(
+            p.stem for p in self.root.glob("*.index") if p.stem not in payload_keys
         )
         return {
             "n_studies": len(ok) + len(corrupt),
@@ -421,16 +577,77 @@ class ResultStore:
             "ok": ok,
             "corrupt": corrupt,
             "orphan_sidecars": orphans,
+            "orphan_indexes": orphan_indexes,
+            "index_issues": index_issues,
+            "n_indexes_rebuilt": n_rebuilt,
         }
+
+    def _index_issue(self, key: str, payload: dict) -> dict | None:
+        """Classify one study's index sidecar problem (``None`` = healthy)."""
+        if not self._index_path(key).exists():
+            return {"key": key, "issue": "missing_index"}
+        index = self._read_index(key)
+        if index is None:
+            return {"key": key, "issue": "corrupt_index"}
+        # Pre-digest payloads (older stores) carry no results_digest;
+        # compare against one recomputed from the records so their
+        # rebuilt indexes verify as healthy instead of stale forever.
+        expected = payload.get("results_digest") or _results_digest(
+            payload.get("results", [])
+        )
+        if index.get("results_digest") != expected:
+            return {"key": key, "issue": "stale_index"}
+        return None
 
     # ------------------------------------------------------------------
     # comparison
     # ------------------------------------------------------------------
+    @staticmethod
+    def _slice_delta(agg_a: dict, agg_b: dict) -> dict:
+        """Per-cell deltas for every slice dimension both studies share.
+
+        Cells are matched by tag value; values present on only one side
+        are skipped (a shorter sweep simply compares where it overlaps).
+        """
+        out: dict = {}
+        slices_a = agg_a.get("slices") or {}
+        for dim, block_b in (agg_b.get("slices") or {}).items():
+            block_a = slices_a.get(dim)
+            if not block_a:
+                continue
+            cells_a = {c["value"]: c for c in block_a.get("cells", [])}
+            rows = []
+            for cell_b in block_b.get("cells", []):
+                cell_a = cells_a.get(cell_b["value"])
+                if cell_a is None:
+                    continue
+                row = {
+                    "value": cell_b["value"],
+                    "violation_rate": round(
+                        cell_b["violation_rate"] - cell_a["violation_rate"], 4
+                    ),
+                }
+                ca, cb = cell_a.get("cost_stats"), cell_b.get("cost_stats")
+                if ca and cb:
+                    row["cost_p50"] = round(cb["p50"] - ca["p50"], 4)
+                la, lb = cell_a.get("loading_stats"), cell_b.get("loading_stats")
+                if la and lb:
+                    row["loading_max"] = round(lb["max"] - la["max"], 4)
+                rows.append(row)
+            if rows:
+                out[dim] = rows
+        return out
+
     def compare(self, ref_a: str | None = None, ref_b: str | None = None) -> dict:
         """Diff two stored studies' ensemble aggregates.
 
         With refs omitted, compares the two most recent studies (``a`` =
         older, ``b`` = newer) — the "today's sweep vs yesterday's" path.
+        Both sides are read from the aggregate-index sidecars (rebuilt
+        on demand when absent), so comparing two 10k-scenario studies
+        never loads a per-scenario payload.  Studies sliced over a
+        shared dimension additionally report per-cell deltas
+        (``delta["slices"]``) — "how did cost-vs-hour move overnight".
         """
         entries = self.list_studies()
         if ref_a is None or ref_b is None:
@@ -443,10 +660,8 @@ class ResultStore:
         key_a = self.resolve(ref_a, entries)
         key_b = self.resolve(ref_b, entries)
         meta = {m.key: m for m in entries}
-        result_a = self.load_result(key_a)
-        result_b = self.load_result(key_b)
-        agg_a = aggregate_study(result_a.results).to_dict()
-        agg_b = aggregate_study(result_b.results).to_dict()
+        agg_a = self._index_or_rebuild(key_a)["aggregate"]
+        agg_b = self._index_or_rebuild(key_b)["aggregate"]
 
         delta: dict = {}
         for rate in ("violation_rate", "overload_rate", "voltage_violation_rate"):
@@ -461,6 +676,9 @@ class ResultStore:
                 delta[stats_key] = {
                     f: round(sb[f] - sa[f], 4) for f in fields
                 }
+        slice_delta = self._slice_delta(agg_a, agg_b)
+        if slice_delta:
+            delta["slices"] = slice_delta
 
         freq_a = {int(k) for k in (agg_a.get("branch_overload_freq") or {})}
         freq_b = {int(k) for k in (agg_b.get("branch_overload_freq") or {})}
