@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ...instrumentation.trace import get_tracer
 from ...llm.base import ChatMessage, LLMBackend, TokenUsage
 from ...llm.simulated import CONTEXT_MARKER
 from ..context import AgentContext
@@ -60,6 +61,13 @@ class Agent:
     # ------------------------------------------------------------------
     def handle(self, text: str) -> AgentReply:
         """Run one full reason-act-reflect cycle for a user request."""
+        with get_tracer().span(f"agent.{self.name}") as span:
+            reply = self._handle(text)
+            span.tags["steps"] = reply.steps
+            span.tags["tool_calls"] = len(reply.tool_calls)
+        return reply
+
+    def _handle(self, text: str) -> AgentReply:
         user_msg = ChatMessage(role="user", content=text)
         turn: list[ChatMessage] = [user_msg]
         usage = TokenUsage()

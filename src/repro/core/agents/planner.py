@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ...instrumentation.trace import get_tracer
 from ...llm.base import LLMBackend
 from ...llm.latency import VirtualClock
 from ...llm.nlu import Intent, parse_request
@@ -44,18 +45,20 @@ class PlannerAgent:
         latency — charged to the session's virtual clock through the
         backend's profile so instrumentation reflects planning cost.
         """
-        self._charge_planning_latency(text)
-        steps = []
-        for parsed in parse_request(text):
-            agent = INTENT_ROUTES.get(parsed.intent, "acopf")
-            clause = parsed.text
-            # Steps that inherited a case from an earlier clause carry it
-            # explicitly so the downstream agent's NLU re-resolves it.
-            if "inherited_case" in parsed.entities and "case" not in parsed.entities:
-                clause = f"{clause} (case {parsed.entities['inherited_case']})"
-            steps.append(
-                WorkflowStep(agent=agent, clause=clause, intent=parsed.intent.value)
-            )
+        with get_tracer().span("planner.plan") as span:
+            self._charge_planning_latency(text)
+            steps = []
+            for parsed in parse_request(text):
+                agent = INTENT_ROUTES.get(parsed.intent, "acopf")
+                clause = parsed.text
+                # Steps that inherited a case from an earlier clause carry it
+                # explicitly so the downstream agent's NLU re-resolves it.
+                if "inherited_case" in parsed.entities and "case" not in parsed.entities:
+                    clause = f"{clause} (case {parsed.entities['inherited_case']})"
+                steps.append(
+                    WorkflowStep(agent=agent, clause=clause, intent=parsed.intent.value)
+                )
+            span.tags["n_steps"] = len(steps)
         return WorkflowState(request=text, steps=steps)
 
     def _charge_planning_latency(self, text: str) -> None:

@@ -80,6 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="TEXT",
         help="non-interactive: process this request and exit (repeatable)",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record hierarchical spans and print the span tree + critical "
+        "path to stderr when done",
+    )
 
     sub = parser.add_subparsers(dest="command")
     study = sub.add_parser(
@@ -163,6 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=argparse.SUPPRESS,
         help="ensemble RNG seed (monte-carlo draws)",
     )
+    study.add_argument(
+        "--trace",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="trace the study (span tree + critical path on stderr)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -197,6 +209,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the built-in three-session interleaved demo and exit",
     )
+    serve.add_argument(
+        "--trace",
+        action="store_true",
+        default=argparse.SUPPRESS,
+        help="trace every request end to end; stored studies gain a "
+        "<key>.trace sidecar readable with `gridmind trace`",
+    )
     for flag, kwargs in (
         ("--model", {}),
         ("--seed", {"type": int}),
@@ -204,6 +223,39 @@ def build_parser() -> argparse.ArgumentParser:
         serve.add_argument(
             flag, default=argparse.SUPPRESS, help=argparse.SUPPRESS, **kwargs
         )
+
+    trace = sub.add_parser(
+        "trace",
+        help="render the span tree of a traced study from a result store",
+        description=(
+            "Load the JSON-lines trace sidecar a traced study exported "
+            "next to its store payload and render the time-annotated span "
+            "tree plus a critical-path summary (self time by span name). "
+            "Accepts the same key / unique-prefix / label references as "
+            "the rest of the store tooling."
+        ),
+    )
+    trace.add_argument(
+        "ref",
+        nargs="?",
+        default=None,
+        help="study key, unique key prefix, or label (default: most recent)",
+    )
+    trace.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="result-store directory the traced study was persisted to",
+    )
+    trace.add_argument(
+        "--file",
+        default=None,
+        metavar="PATH",
+        help="read a raw JSON-lines trace file instead of a store entry",
+    )
+    trace.add_argument(
+        "--json", action="store_true", help="emit the raw span records as JSON"
+    )
     return parser
 
 
@@ -227,6 +279,19 @@ def _build_study_scenarios(args):
         rho_percent=100.0 * args.rho,
     )
     return net, scenarios
+
+
+def _print_trace(tracer, stream=None) -> None:
+    """Render a tracer's recorded spans to stderr (span tree + hot path)."""
+    from ..instrumentation.trace import format_trace_report
+
+    stream = stream or sys.stderr
+    spans = tracer.spans()
+    if not spans:
+        print("[gridmind] trace: no spans recorded", file=stream)
+        return
+    print(f"[gridmind] trace ({len(spans)} spans):", file=stream)
+    print(format_trace_report(spans), file=stream)
 
 
 def _progress_printer(stream):
@@ -259,26 +324,36 @@ def run_study(args) -> int:
     into the online reducer, and ``--progress`` (implied on a TTY)
     narrates delivery live instead of waiting for the final table.
     """
+    from contextlib import ExitStack
+
     from ..scenarios import BatchStudyRunner, resolve_slice_by
 
     progress = None
     if args.progress or _supports_color(sys.stderr):
         progress = _progress_printer(sys.stderr)
+    tracer = None
     try:
-        slice_by = resolve_slice_by(args.slice_by, args.kind, n_zones=args.zones)
-        net, scenarios = _build_study_scenarios(args)
-        runner = BatchStudyRunner(
-            analysis=args.analysis, n_jobs=args.jobs, slice_by=slice_by
-        )
-        study = runner.run(
-            net, scenarios, progress=progress, keep_results=args.keep_results
-        )
+        with ExitStack() as stack:
+            if getattr(args, "trace", False):
+                from ..instrumentation.trace import Tracer, tracing
+
+                tracer = stack.enter_context(tracing(Tracer()))
+            slice_by = resolve_slice_by(args.slice_by, args.kind, n_zones=args.zones)
+            net, scenarios = _build_study_scenarios(args)
+            runner = BatchStudyRunner(
+                analysis=args.analysis, n_jobs=args.jobs, slice_by=slice_by
+            )
+            study = runner.run(
+                net, scenarios, progress=progress, keep_results=args.keep_results
+            )
     except (KeyError, ValueError) as exc:
         # Domain errors (unknown case, bad ranges) are user input problems:
         # report them like argparse does instead of dumping a traceback.
         message = exc.args[0] if exc.args else str(exc)
         print(f"gridmind study: error: {message}", file=sys.stderr)
         return 2
+    if tracer is not None:
+        _print_trace(tracer)
     payload = study.to_dict()
 
     if args.json:
@@ -412,6 +487,7 @@ async def _serve_async(args) -> int:
         seed=getattr(args, "seed", 0),
         max_workers=args.workers,
         store_dir=store_dir,
+        trace=getattr(args, "trace", False),
     )
     try:
         if args.demo:
@@ -454,6 +530,8 @@ async def _serve_async(args) -> int:
         print(f"service metrics: {service.metrics()}")
         return 0
     finally:
+        if getattr(args, "trace", False) and service.tracer.enabled:
+            _print_trace(service.tracer)
         await service.aclose()
         if store_ctx is not None:
             store_ctx.cleanup()
@@ -464,16 +542,63 @@ def run_serve(args) -> int:
     return asyncio.run(_serve_async(args))
 
 
+def run_trace(args) -> int:
+    """Execute the ``trace`` subcommand: render a stored study's spans."""
+    from ..instrumentation.trace import format_trace_report
+    from ..service.store import ResultStore, StudyNotFound
+
+    try:
+        if args.file is not None:
+            from pathlib import Path
+
+            text = Path(args.file).read_text()
+            spans = [json.loads(line) for line in text.splitlines() if line.strip()]
+        else:
+            if args.store is None:
+                print(
+                    "gridmind trace: error: provide --store DIR (or --file PATH)",
+                    file=sys.stderr,
+                )
+                return 2
+            store = ResultStore(args.store)
+            ref = args.ref
+            if ref is None:
+                entries = store.list_studies()
+                if not entries:
+                    raise StudyNotFound(f"no stored studies in {store.root}")
+                ref = entries[-1].key  # newest
+            spans = store.load_trace(ref)
+    except (OSError, StudyNotFound, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"gridmind trace: error: {message}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(spans, indent=2))
+        return 0
+    print(f"{len(spans)} spans")
+    print(format_trace_report(spans))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "command", None) == "study":
         return run_study(args)
     if getattr(args, "command", None) == "serve":
         return run_serve(args)
+    if getattr(args, "command", None) == "trace":
+        return run_trace(args)
     color = _supports_color(sys.stdout)
     cyan = _CYAN if color else ""
     dim = _DIM if color else ""
     reset = _RESET if color else ""
+
+    tracer = None
+    if args.trace:
+        from ..instrumentation.trace import Tracer, set_tracer
+
+        tracer = Tracer()
+        set_tracer(tracer)
 
     session = GridMindSession(model=args.model, seed=args.seed)
 
@@ -493,6 +618,8 @@ def main(argv: list[str] | None = None) -> int:
         for text in args.ask:
             print(f"> {text}")
             respond(text)
+        if tracer is not None:
+            _print_trace(tracer)
         return 0
 
     print(_BANNER)
@@ -512,6 +639,8 @@ def main(argv: list[str] | None = None) -> int:
             break
         respond(text)
 
+    if tracer is not None:
+        _print_trace(tracer)
     summary = session.metrics()
     print(f"{dim}session summary: {summary}{reset}")
     return 0

@@ -23,6 +23,8 @@ import time
 from pathlib import Path
 
 from ..instrumentation import RunLogger, RequestRecord, audit_narration
+from ..instrumentation.metrics import get_metrics
+from ..instrumentation.trace import get_tracer
 from ..llm.latency import VirtualClock
 from ..llm.simulated import SimulatedLLM
 from .agents.acopf_agent import make_acopf_agent
@@ -83,7 +85,11 @@ class GridMindSession:
         """Process one natural-language request end to end."""
         clock_before = self.clock.now
         wall_start = time.perf_counter()
-        reply = self.coordinator.dispatch(text)
+        with get_tracer().span(
+            "session.turn", model=self.model, session_id=self.session_id
+        ) as span:
+            reply = self.coordinator.dispatch(text)
+            span.tags["agents"] = ",".join(reply.agents_involved)
         reply.wall_s = time.perf_counter() - wall_start
         reply.latency_s = self.clock.now - clock_before
 
@@ -116,6 +122,17 @@ class GridMindSession:
                 factual_slips=len(audit.slips),
             )
         )
+        metrics = get_metrics()
+        metrics.counter(
+            "gridmind_requests_total", "Session turns by model and outcome"
+        ).inc(model=self.model, success=success)
+        metrics.histogram(
+            "gridmind_request_wall_seconds", "Real compute time per session turn"
+        ).observe(reply.wall_s)
+        if audit.slips:
+            metrics.counter(
+                "gridmind_factual_slips_total", "Narration claims failing the audit"
+            ).inc(len(audit.slips))
         return reply
 
     # ------------------------------------------------------------------

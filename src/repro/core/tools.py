@@ -12,12 +12,14 @@ from __future__ import annotations
 
 import json
 import time
-from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from pydantic import BaseModel, ValidationError
 
+from ..instrumentation.metrics import get_metrics
+from ..instrumentation.ringlog import RingLog
+from ..instrumentation.trace import get_tracer
 from ..llm.base import ToolSpec
 from .schemas import ToolCallLogEntry
 
@@ -62,12 +64,15 @@ class ToolRegistry:
 
     tools: dict[str, RegisteredTool] = field(default_factory=dict)
     max_log_entries: int | None = DEFAULT_MAX_LOG_ENTRIES
-    log: deque[ToolCallLogEntry] = field(default_factory=deque)
-    _issued: int = field(default=0, repr=False)
+    log: RingLog[ToolCallLogEntry] = field(default_factory=RingLog)
 
     def __post_init__(self) -> None:
-        if not isinstance(self.log, deque) or self.log.maxlen != self.max_log_entries:
-            self.log = deque(self.log, maxlen=self.max_log_entries)
+        if not isinstance(self.log, RingLog) or (
+            self.log.max_entries != self.max_log_entries
+        ):
+            # RingLog-aware re-cap: passing the old log preserves both the
+            # monotonic numbering and the newest retained entries.
+            self.log = RingLog(self.max_log_entries, self.log)
 
     def register(
         self,
@@ -94,40 +99,51 @@ class ToolRegistry:
         provider tool-call loop.
         """
         start = time.perf_counter()
-        entry = ToolCallLogEntry(tool=name, arguments=dict(arguments), seq=self._issued)
-        self._issued += 1
-        try:
-            tool = self.tools.get(name)
-            if tool is None:
-                raise ToolError(
-                    f"unknown tool {name!r}; available: {sorted(self.tools)}"
-                )
-            kwargs = dict(arguments)
-            if tool.args_model is not None:
-                try:
-                    kwargs = tool.args_model(**arguments).model_dump(exclude_none=True)
-                except ValidationError as exc:
-                    raise ToolError(f"invalid arguments: {exc.errors()}") from exc
-            result = tool.handler(**kwargs)
-            if not isinstance(result, dict):
-                raise ToolError(
-                    f"tool {name!r} returned {type(result).__name__}, expected dict"
-                )
-            payload = json.dumps(result, default=str)
-            entry.result = json.loads(payload)  # normalised copy for the audit trail
-        except ToolError as exc:
-            entry.ok = False
-            entry.error = str(exc)
-            payload = json.dumps({"error": str(exc), "tool": name})
-        finally:
-            entry.duration_s = time.perf_counter() - start
-            self.log.append(entry)
+        entry = ToolCallLogEntry(tool=name, arguments=dict(arguments), seq=self.log.count)
+        with get_tracer().span(f"tool.{name}") as span:
+            try:
+                tool = self.tools.get(name)
+                if tool is None:
+                    raise ToolError(
+                        f"unknown tool {name!r}; available: {sorted(self.tools)}"
+                    )
+                kwargs = dict(arguments)
+                if tool.args_model is not None:
+                    try:
+                        kwargs = tool.args_model(**arguments).model_dump(
+                            exclude_none=True
+                        )
+                    except ValidationError as exc:
+                        raise ToolError(f"invalid arguments: {exc.errors()}") from exc
+                result = tool.handler(**kwargs)
+                if not isinstance(result, dict):
+                    raise ToolError(
+                        f"tool {name!r} returned {type(result).__name__}, expected dict"
+                    )
+                payload = json.dumps(result, default=str)
+                entry.result = json.loads(payload)  # normalised copy for the audit trail
+            except ToolError as exc:
+                entry.ok = False
+                entry.error = str(exc)
+                span.status = "error"
+                span.error = str(exc)
+                payload = json.dumps({"error": str(exc), "tool": name})
+            finally:
+                entry.duration_s = time.perf_counter() - start
+                entry.seq = self.log.append(entry)
+                metrics = get_metrics()
+                metrics.counter(
+                    "gridmind_tool_calls_total", "Tool invocations by name and outcome"
+                ).inc(tool=name, ok=entry.ok)
+                metrics.histogram(
+                    "gridmind_tool_seconds", "Tool call duration"
+                ).observe(entry.duration_s)
         return payload
 
     @property
     def call_count(self) -> int:
         """Total calls ever issued (monotonic; survives ring-buffer eviction)."""
-        return self._issued
+        return self.log.count
 
     def entries_since(self, seq: int) -> list[ToolCallLogEntry]:
         """Retained log entries with ``entry.seq >= seq``, oldest first."""

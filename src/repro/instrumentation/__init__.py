@@ -1,6 +1,41 @@
-"""Instrumentation bench (DESIGN.md S10): run logging and claim auditing."""
+"""Instrumentation bench (DESIGN.md S10): logging, auditing, tracing, metrics."""
 
 from .audit import AuditResult, audit_narration
+from .metrics import (
+    MetricsRegistry,
+    get_metrics,
+    render_prometheus,
+    set_metrics,
+    state_delta,
+)
+from .ringlog import RingLog
 from .runlog import RequestRecord, RunLogger
+from .trace import (
+    Span,
+    Tracer,
+    current_trace_context,
+    format_trace_report,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
 
-__all__ = ["AuditResult", "RequestRecord", "RunLogger", "audit_narration"]
+__all__ = [
+    "AuditResult",
+    "MetricsRegistry",
+    "RequestRecord",
+    "RingLog",
+    "RunLogger",
+    "Span",
+    "Tracer",
+    "audit_narration",
+    "current_trace_context",
+    "format_trace_report",
+    "get_metrics",
+    "get_tracer",
+    "render_prometheus",
+    "set_metrics",
+    "set_tracer",
+    "state_delta",
+    "tracing",
+]

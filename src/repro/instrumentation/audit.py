@@ -6,6 +6,12 @@ extract the numeric literals from a reply and check each appears (within
 rounding) somewhere in the structured payloads the reply was generated
 from.  Numbers with no provenance are *factual slips* — the reliability
 signal the instrumentation bench tracks.
+
+Audits are one leg of the observability stack: audit outcomes ride each
+:class:`~repro.instrumentation.runlog.RequestRecord` in the run log,
+slip counts feed the ``gridmind_factual_slips_total`` counter in
+:mod:`repro.instrumentation.metrics`, and the turn they audit appears as
+a ``session.turn`` span in :mod:`repro.instrumentation.trace`.
 """
 
 from __future__ import annotations

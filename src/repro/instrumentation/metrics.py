@@ -1,0 +1,375 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+The always-on half of the observability layer (the opt-in half is
+:mod:`~repro.instrumentation.trace`).  Every layer of the stack records
+into one process-wide :class:`MetricsRegistry` — requests, tool calls,
+solver invocations and convergence failures, chunks dispatched/retried,
+in-flight window occupancy, store hits and bytes — cheap enough (one
+lock + dict update per event, microseconds against solver milliseconds)
+to stay enabled in production.
+
+Three design points worth knowing:
+
+* **Labels** are plain keyword arguments (``counter.inc(solver="newton")``)
+  keyed internally by a sorted item tuple, so one instrument holds a
+  small family of series exactly like a Prometheus metric does.
+* **Cross-process merge**: pool workers accumulate into their *own*
+  process-local registry; chunk payloads carry a counter/histogram delta
+  back (:meth:`MetricsRegistry.state` / :func:`state_delta`) which the
+  parent folds in with :meth:`MetricsRegistry.merge_state` — so
+  solver-level counters from a 10k-scenario pooled study surface in the
+  service's registry.  Gauges are point-in-time and deliberately do not
+  merge.
+* **Exposition**: :func:`render_prometheus` emits the standard text
+  format (``# HELP``/``# TYPE``, ``_bucket{le=...}``/``_sum``/``_count``
+  for histograms) from any registry snapshot.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterator
+
+#: Default histogram bucket upper bounds, in seconds — spans the range
+#: from a cached tool call to a long ACOPF ensemble chunk.
+DEFAULT_TIME_BUCKETS = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0
+)
+
+#: Default buckets for iteration-count histograms (solver convergence).
+ITERATION_BUCKETS = (1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: _LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = [*key, *extra]
+    if not items:
+        return ""
+    body = ",".join(
+        '{}="{}"'.format(k, v.replace("\\", "\\\\").replace('"', '\\"'))
+        for k, v in items
+    )
+    return "{" + body + "}"
+
+
+class Counter:
+    """Monotonically increasing count, optionally split by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._values: dict[_LabelKey, float] = {}
+
+    def inc(self, n: float = 1.0, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + n
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every label series."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def _series(self) -> Iterator[tuple[_LabelKey, float]]:
+        with self._lock:
+            yield from sorted(self._values.items())
+
+    def render(self) -> list[str]:
+        return [
+            f"{self.name}{_render_labels(key)} {_fmt(value)}"
+            for key, value in self._series()
+        ]
+
+
+class Gauge(Counter):
+    """A value that can go up and down (queue depth, in-flight window)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def dec(self, n: float = 1.0, **labels) -> None:
+        self.inc(-n, **labels)
+
+    def set_max(self, value: float, **labels) -> None:
+        """Ratchet: keep the largest value ever seen (peak occupancy)."""
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = max(self._values.get(key, float(value)), float(value))
+
+
+class Histogram:
+    """Fixed-bucket histogram: cumulative bucket counts, sum, and count."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram buckets must be sorted and non-empty: {buckets}")
+        self.name = name
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self._lock = threading.Lock()
+        # Per label series: [per-bucket counts..., +Inf count], sum.
+        self._counts: dict[_LabelKey, list[int]] = {}
+        self._sums: dict[_LabelKey, float] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = self._counts[key] = [0] * (len(self.buckets) + 1)
+                self._sums[key] = 0.0
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+                    break
+            else:
+                counts[-1] += 1
+            self._sums[key] += value
+
+    def count(self, **labels) -> int:
+        counts = self._counts.get(_label_key(labels))
+        return sum(counts) if counts else 0
+
+    def sum(self, **labels) -> float:
+        return self._sums.get(_label_key(labels), 0.0)
+
+    def render(self) -> list[str]:
+        lines: list[str] = []
+        with self._lock:
+            for key in sorted(self._counts):
+                counts = self._counts[key]
+                cumulative = 0
+                for bound, n in zip(self.buckets, counts):
+                    cumulative += n
+                    lines.append(
+                        f"{self.name}_bucket"
+                        f"{_render_labels(key, (('le', _fmt(bound)),))} {cumulative}"
+                    )
+                cumulative += counts[-1]
+                lines.append(
+                    f"{self.name}_bucket{_render_labels(key, (('le', '+Inf'),))} "
+                    f"{cumulative}"
+                )
+                lines.append(
+                    f"{self.name}_sum{_render_labels(key)} {_fmt(self._sums[key])}"
+                )
+                lines.append(f"{self.name}_count{_render_labels(key)} {cumulative}")
+        return lines
+
+
+def _fmt(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _NullInstrument:
+    """Shared no-op stand-in when a registry is disabled."""
+
+    def __getattr__(self, _name):
+        return self._noop
+
+    @staticmethod
+    def _noop(*_args, **_kwargs):
+        return 0.0
+
+
+_NULL = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named instrument collection; get-or-create, thread-safe, mergeable.
+
+    ``enabled=False`` returns shared no-op instruments from every
+    accessor — the instrumentation-off baseline the E15 ablation
+    benchmark measures against.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, cls, name: str, help: str, **kwargs):
+        if not self.enabled:
+            return _NULL
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = cls(name, help, **kwargs)
+            elif not isinstance(instrument, cls) or type(instrument) is not cls:
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {cls.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        return self._get(Histogram, name, help, buckets=buckets)
+
+    def instruments(self) -> list[Counter | Gauge | Histogram]:
+        with self._lock:
+            return [self._instruments[name] for name in sorted(self._instruments)]
+
+    # ------------------------------------------------------------------
+    # cross-process transport
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """Plain-data snapshot of counters and histograms (picklable).
+
+        Gauges are excluded: they are point-in-time readings of *this*
+        process and summing them across workers is meaningless.
+        """
+        counters: dict[str, dict] = {}
+        histograms: dict[str, dict] = {}
+        for instrument in self.instruments():
+            if isinstance(instrument, Histogram):
+                with instrument._lock:
+                    histograms[instrument.name] = {
+                        "help": instrument.help,
+                        "buckets": instrument.buckets,
+                        "series": {
+                            key: (list(counts), instrument._sums[key])
+                            for key, counts in instrument._counts.items()
+                        },
+                    }
+            elif isinstance(instrument, Gauge):
+                continue
+            elif isinstance(instrument, Counter):
+                with instrument._lock:
+                    counters[instrument.name] = {
+                        "help": instrument.help,
+                        "series": dict(instrument._values),
+                    }
+        return {"counters": counters, "histograms": histograms}
+
+    def merge_state(self, state: dict | None) -> None:
+        """Fold a worker's :meth:`state` delta into this registry."""
+        if not state:
+            return
+        for name, block in state.get("counters", {}).items():
+            counter = self.counter(name, block.get("help", ""))
+            for key, value in block.get("series", {}).items():
+                if value:
+                    counter.inc(value, **dict(key))
+        for name, block in state.get("histograms", {}).items():
+            histogram = self.histogram(
+                name, block.get("help", ""), buckets=tuple(block.get("buckets", ()))
+                or DEFAULT_TIME_BUCKETS,
+            )
+            for key, (counts, total) in block.get("series", {}).items():
+                with histogram._lock:
+                    series = histogram._counts.get(key)
+                    if series is None:
+                        series = histogram._counts[key] = [0] * len(counts)
+                        histogram._sums[key] = 0.0
+                    for i, n in enumerate(counts):
+                        series[i] += n
+                    histogram._sums[key] += total
+        return
+
+
+def state_delta(after: dict, before: dict) -> dict:
+    """``after - before`` for two :meth:`MetricsRegistry.state` snapshots.
+
+    What a pool worker ships back per chunk: only series that moved
+    during the chunk, so idle instruments cost nothing on the wire.
+    """
+    counters: dict[str, dict] = {}
+    for name, block in after.get("counters", {}).items():
+        base = before.get("counters", {}).get(name, {}).get("series", {})
+        series = {
+            key: value - base.get(key, 0.0)
+            for key, value in block["series"].items()
+            if value != base.get(key, 0.0)
+        }
+        if series:
+            counters[name] = {"help": block.get("help", ""), "series": series}
+    histograms: dict[str, dict] = {}
+    for name, block in after.get("histograms", {}).items():
+        base = before.get("histograms", {}).get(name, {}).get("series", {})
+        series = {}
+        for key, (counts, total) in block["series"].items():
+            base_counts, base_sum = base.get(key, ([0] * len(counts), 0.0))
+            delta = [n - b for n, b in zip(counts, base_counts)]
+            if any(delta):
+                series[key] = (delta, total - base_sum)
+        if series:
+            histograms[name] = {
+                "help": block.get("help", ""),
+                "buckets": block.get("buckets", ()),
+                "series": series,
+            }
+    return {"counters": counters, "histograms": histograms}
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition of every instrument in ``registry``."""
+    lines: list[str] = []
+    for instrument in registry.instruments():
+        if instrument.help:
+            lines.append(f"# HELP {instrument.name} {instrument.help}")
+        lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+        lines.extend(instrument.render())
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# process-wide default registry
+# ----------------------------------------------------------------------
+
+_METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry every layer records into by default."""
+    return _METRICS
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one.
+
+    Used by the ablation benchmark (instrumentation-off baseline swaps in
+    a disabled registry) and by tests that want an isolated registry.
+    """
+    global _METRICS
+    previous = _METRICS
+    _METRICS = registry
+    return previous

@@ -1,0 +1,101 @@
+"""RingLog: one capped, seq-numbered ring buffer for every audit trail.
+
+:class:`~repro.core.tools.ToolRegistry` (tool-call audit log),
+:class:`~repro.instrumentation.runlog.RunLogger` (per-request records)
+and :class:`~repro.instrumentation.trace.Tracer` (finished spans) all
+need the same container: a bounded window of recent entries that evicts
+oldest-first while a *monotonic* sequence number keeps positions stable
+across eviction.  Each used to grow its own deque + counter scheme;
+``RingLog`` is the shared implementation.
+
+Semantics:
+
+* :meth:`append` assigns the next sequence number and returns it;
+  :attr:`count` is the total ever appended (it never decreases).
+* At most ``max_entries`` items are retained (``None`` = unbounded).
+* :meth:`since` answers "everything at or after seq N" over the retained
+  window — the consumer-cursor pattern agents use instead of list
+  indices, which shift once eviction starts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, Iterable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class RingLog(Generic[T]):
+    """Capped append-only log with monotonic sequence numbers."""
+
+    __slots__ = ("max_entries", "_entries", "_count")
+
+    def __init__(
+        self,
+        max_entries: int | None = None,
+        entries: "Iterable[T] | RingLog[T]" = (),
+    ) -> None:
+        if max_entries is not None and max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0 or None, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: deque[tuple[int, T]] = deque(maxlen=max_entries)
+        if isinstance(entries, RingLog):
+            # Re-capping an existing log (e.g. a registry whose cap was
+            # changed at runtime) keeps both the numbering and the newest
+            # entries: seqs survive, only the window shrinks.
+            self._entries.extend(entries.pairs())
+            self._count = entries.count
+        else:
+            self._count = 0
+            for item in entries:
+                self.append(item)
+
+    # ------------------------------------------------------------------
+    def append(self, item: T) -> int:
+        """Record ``item``; returns its assigned sequence number."""
+        seq = self._count
+        self._count += 1
+        self._entries.append((seq, item))
+        return seq
+
+    @property
+    def count(self) -> int:
+        """Total entries ever appended (monotonic; survives eviction)."""
+        return self._count
+
+    @property
+    def first_seq(self) -> int:
+        """Sequence number of the oldest retained entry (``count`` if empty)."""
+        return self._entries[0][0] if self._entries else self._count
+
+    def since(self, seq: int) -> list[T]:
+        """Retained entries with sequence number >= ``seq``, oldest first."""
+        return [item for s, item in self._entries if s >= seq]
+
+    def pairs(self) -> Iterator[tuple[int, T]]:
+        """(seq, entry) pairs over the retained window, oldest first."""
+        return iter(self._entries)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[T]:
+        return (item for _seq, item in self._entries)
+
+    def __getitem__(self, index: int) -> T:
+        return self._entries[index][1]
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RingLog(n={len(self._entries)}, count={self._count}, "
+            f"max_entries={self.max_entries})"
+        )
+
+    def clear(self) -> None:
+        """Drop the retained window (the monotonic count is unaffected)."""
+        self._entries.clear()

@@ -6,14 +6,21 @@ slips so reliability trends can be monitored".  ``RunLogger`` is that
 bench: the session feeds it one record per user request and per LLM/tool
 call, and the benchmark harnesses aggregate its summaries into the
 paper's figures.
+
+For the cross-process view — spans from a service request down to a
+worker chunk, and always-on counters/histograms — see
+:mod:`~repro.instrumentation.trace` and
+:mod:`~repro.instrumentation.metrics`; the retained window here is a
+shared :class:`~repro.instrumentation.ringlog.RingLog`.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from .ringlog import RingLog
 
 
 @dataclass
@@ -43,12 +50,14 @@ class RunLogger:
     keeps everything (the benchmark harnesses rely on full history).
     """
 
-    records: deque[RequestRecord] = field(default_factory=deque)
+    records: RingLog[RequestRecord] = field(default_factory=RingLog)
     max_records: int | None = None
 
     def __post_init__(self) -> None:
-        if not isinstance(self.records, deque) or self.records.maxlen != self.max_records:
-            self.records = deque(self.records, maxlen=self.max_records)
+        if not isinstance(self.records, RingLog) or (
+            self.records.max_entries != self.max_records
+        ):
+            self.records = RingLog(self.max_records, self.records)
 
     def log(self, record: RequestRecord) -> None:
         self.records.append(record)

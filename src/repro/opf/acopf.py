@@ -24,6 +24,7 @@ from scipy import sparse
 from ..grid.network import Network, NetworkArrays
 from ..grid.units import rad_to_deg
 from ..grid.ybus import AdmittanceMatrices, build_admittances
+from ..instrumentation.probes import instrument_solver
 from ..powerflow.jacobian import d2Abr_dV2, d2Sbus_dV2, dSbr_dV, dSbus_dV
 from .costs import PolynomialCosts
 from .ipm import IPMOptions, IPMResult, solve_ipm
@@ -239,6 +240,7 @@ class ACOPFProblem:
         return lxx
 
 
+@instrument_solver("acopf")
 def solve_acopf(
     net: Network,
     *,

@@ -17,11 +17,13 @@ from scipy import optimize, sparse
 from ..grid.network import Network
 from ..grid.units import rad_to_deg
 from ..grid.ybus import build_b_matrices
+from ..instrumentation.probes import instrument_solver
 from .result import OPFResult
 
 _SEGMENTS = 8
 
 
+@instrument_solver("dcopf")
 def solve_dcopf(net: Network, *, segments: int = _SEGMENTS) -> OPFResult:
     """Solve the DCOPF LP.  Variables: [theta | pg | cost epigraph y]."""
     start = time.perf_counter()

@@ -32,6 +32,7 @@ from scipy import sparse
 
 from ..contingency.lodf import compute_factors
 from ..grid.network import Network
+from ..instrumentation.probes import instrument_solver
 from .acopf import ACOPFProblem, _unpack
 from .ipm import IPMOptions, solve_ipm
 from .result import OPFResult
@@ -172,6 +173,7 @@ def _screen_violations(
     return sorted(worst_by_limited.values(), key=lambda sc: -sc.severity)
 
 
+@instrument_solver("scopf")
 def solve_scopf(
     net: Network,
     *,

@@ -17,6 +17,7 @@ from scipy import sparse
 
 from ..grid.network import Network, NetworkArrays
 from ..grid.components import BusType
+from ..instrumentation.probes import instrument_solver
 from .jacobian import dSbus_dV
 from .solution import PowerFlowResult, finalize_solution, make_admittances
 from .qlimits import enforce_q_limits
@@ -39,6 +40,7 @@ def _initial_voltage(arr: NetworkArrays, v0: np.ndarray | None) -> np.ndarray:
     return arr.vm0 * np.exp(1j * arr.va0)
 
 
+@instrument_solver("newton")
 def solve_newton(
     net: Network,
     *,

@@ -34,6 +34,7 @@ import hashlib
 import heapq
 import itertools
 import math
+import os
 import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
@@ -42,6 +43,13 @@ from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
+from ..instrumentation.metrics import (
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    state_delta,
+)
+from ..instrumentation.trace import current_trace_context, get_tracer, worker_trace
 from ..contingency.cache import ContingencyCache
 from ..contingency.lodf import SensitivityFactors, compute_factors
 from ..contingency.nminus1 import NMinus1Report, analyze_single_outage
@@ -117,7 +125,13 @@ class ScenarioResult:
 
 @dataclass(frozen=True)
 class StudyProgress:
-    """One incremental checkpoint of a running study (per completed chunk)."""
+    """One incremental checkpoint of a running study (per completed chunk).
+
+    ``chunk_wall_s`` and ``worker_pid`` describe the chunk that produced
+    this event (wall-clock inside the worker, and which process served
+    it) — the per-chunk timing trail that makes the service's progress
+    feed useful even without full tracing enabled.
+    """
 
     n_done: int
     n_total: int | None  # None when the stream length is unknown
@@ -126,6 +140,8 @@ class StudyProgress:
     n_errors: int
     violation_rate: float  # over converged scenarios so far
     elapsed_s: float
+    chunk_wall_s: float = 0.0  # wall time of this event's chunk
+    worker_pid: int = 0  # process that evaluated this event's chunk
 
     @property
     def fraction(self) -> float | None:
@@ -142,6 +158,8 @@ class StudyProgress:
             "n_errors": self.n_errors,
             "violation_rate": round(self.violation_rate, 4),
             "elapsed_s": round(self.elapsed_s, 3),
+            "chunk_wall_s": round(self.chunk_wall_s, 4),
+            "worker_pid": self.worker_pid,
         }
         if self.fraction is not None:
             out["fraction"] = round(self.fraction, 4)
@@ -315,6 +333,18 @@ class _WorkerState:
 
     # ------------------------------------------------------------------
     def run_scenario(self, scenario: Scenario) -> ScenarioResult:
+        with get_tracer().span("scenario.run", scenario=scenario.name) as span:
+            result = self._run_scenario(scenario)
+            span.tags["converged"] = result.converged
+            if result.error:
+                span.status = "error"
+                span.error = result.error
+        get_metrics().counter(
+            "gridmind_scenarios_total", "Scenario evaluations by outcome"
+        ).inc(analysis=self.config.analysis, converged=result.converged)
+        return result
+
+    def _run_scenario(self, scenario: Scenario) -> ScenarioResult:
         tick = time.perf_counter()
         try:
             net = scenario.realize(self.base)
@@ -503,6 +533,73 @@ class _WorkerState:
 # process-pool plumbing: one _WorkerState per worker, chunked dispatch
 # ----------------------------------------------------------------------
 
+
+@dataclass
+class ChunkOutcome:
+    """One evaluated chunk plus its observability payload.
+
+    What every execution path (serial, per-run pool, shared executor)
+    yields to the runner's fold loop: the results themselves, the
+    worker's identity and wall time (surfaced on ``StudyProgress``), the
+    finished span dicts recorded inside the worker (stitched into the
+    parent trace via :meth:`~repro.instrumentation.trace.Tracer.adopt`),
+    and the worker-local metrics delta (folded into the parent registry
+    via :meth:`~repro.instrumentation.metrics.MetricsRegistry.merge_state`).
+    """
+
+    results: list[ScenarioResult]
+    worker_pid: int = 0
+    wall_s: float = 0.0
+    spans: list[dict] = field(default_factory=list)
+    metrics: dict | None = None
+
+
+def _execute_chunk(
+    state: _WorkerState,
+    scenarios: list[Scenario],
+    trace_ctx: tuple[str, str] | None,
+    collect_metrics: bool,
+) -> ChunkOutcome:
+    """Evaluate one chunk inside a worker process, instrumented.
+
+    ``trace_ctx`` is the dispatcher's serialised span context (``None``
+    for untraced studies — the worker then pays only this check): a
+    private chunk tracer is activated under it, so the ``worker.chunk``
+    span and everything beneath (scenario, solver) reparent correctly
+    once adopted.  ``collect_metrics`` ships the worker-local
+    counter/histogram delta for this chunk back to the parent.
+    """
+    tick = time.perf_counter()
+    # Mirror the dispatcher's collection flag regardless of what registry
+    # this worker inherited at fork time: a worker forked during an
+    # untraced study must still collect for a later metered one, and with
+    # collection off the increments should no-op rather than accumulate
+    # into a registry nobody will ever drain.
+    previous = None
+    if collect_metrics != get_metrics().enabled:
+        previous = set_metrics(MetricsRegistry(enabled=collect_metrics))
+    before = get_metrics().state() if collect_metrics else None
+    try:
+        with worker_trace(trace_ctx) as tracer:
+            with tracer.span("worker.chunk", n_scenarios=len(scenarios)):
+                results = [state.run_scenario(s) for s in scenarios]
+        delta = (
+            state_delta(get_metrics().state(), before)
+            if collect_metrics
+            else None
+        )
+    finally:
+        if previous is not None:
+            set_metrics(previous)
+    return ChunkOutcome(
+        results=results,
+        worker_pid=os.getpid(),
+        wall_s=time.perf_counter() - tick,
+        spans=tracer.drain_dicts(),
+        metrics=delta,
+    )
+
+
 _WORKER: _WorkerState | None = None
 
 
@@ -511,9 +608,13 @@ def _init_worker(base: Network, config: StudyConfig) -> None:
     _WORKER = _WorkerState(base, config)
 
 
-def _run_chunk(scenarios: list[Scenario]) -> list[ScenarioResult]:
+def _run_chunk(
+    scenarios: list[Scenario],
+    trace_ctx: tuple[str, str] | None = None,
+    collect_metrics: bool = True,
+) -> ChunkOutcome:
     assert _WORKER is not None, "worker used before initialisation"
-    return [_WORKER.run_scenario(s) for s in scenarios]
+    return _execute_chunk(_WORKER, scenarios, trace_ctx, collect_metrics)
 
 
 def default_chunk_size(total: int | None, n_jobs: int) -> int:
@@ -538,7 +639,7 @@ def windowed_map(
     submit: Callable[[list[Scenario]], object],
     chunks: Iterator[list[Scenario]],
     window: int,
-) -> Iterator[list[ScenarioResult]]:
+) -> Iterator[ChunkOutcome]:
     """Submit chunks with at most ``window`` in flight; yield results in order.
 
     The backpressure loop for the runner's per-run pool path: the
@@ -637,10 +738,22 @@ class BatchStudyRunner:
     # ------------------------------------------------------------------
     def _serial_chunks(
         self, base: Network, config: StudyConfig, scenarios, chunk: int
-    ) -> Iterator[list[ScenarioResult]]:
+    ) -> Iterator[ChunkOutcome]:
+        # Generator bodies run in the *caller's* context, so these live
+        # ``worker.chunk`` spans parent under whatever span the fold loop
+        # holds open when it draws the next chunk — same tree shape as
+        # the pool paths, without serialising anything.
+        tracer = get_tracer()
         state = _WorkerState(base.copy(), config)
         for chunk_scns in iter_chunks(scenarios, chunk):
-            yield [state.run_scenario(s) for s in chunk_scns]
+            tick = time.perf_counter()
+            with tracer.span("worker.chunk", n_scenarios=len(chunk_scns)):
+                results = [state.run_scenario(s) for s in chunk_scns]
+            yield ChunkOutcome(
+                results=results,
+                worker_pid=os.getpid(),
+                wall_s=time.perf_counter() - tick,
+            )
 
     def _pool_chunks(
         self,
@@ -650,12 +763,18 @@ class BatchStudyRunner:
         chunk: int,
         jobs: int,
         window: int,
-    ) -> Iterator[list[ScenarioResult]]:
+    ) -> Iterator[ChunkOutcome]:
+        collect = get_metrics().enabled
         with ProcessPoolExecutor(
             max_workers=jobs, initializer=_init_worker, initargs=(base, config)
         ) as pool:
+            # Trace context is captured per submission: submissions are
+            # driven by the consumer draining chunks, so they see the
+            # fold loop's active dispatch span.
             yield from windowed_map(
-                lambda c: pool.submit(_run_chunk, c),
+                lambda c: pool.submit(
+                    _run_chunk, c, current_trace_context(), collect
+                ),
                 iter_chunks(scenarios, chunk),
                 window,
             )
@@ -670,6 +789,8 @@ class BatchStudyRunner:
         keep_results: bool = True,
     ) -> StudyResult:
         config = self.config()
+        tracer = get_tracer()
+        metrics = get_metrics()
         start = time.perf_counter()
         # One-shot iterators are materialised up front (lists and
         # ScenarioStreams pass through lazily): the stream is re-read
@@ -680,6 +801,7 @@ class BatchStudyRunner:
 
         if self.executor is not None and (total is None or total >= 2):
             jobs = getattr(self.executor, "max_workers", 1)
+            dispatch_name = "executor.dispatch"
             # Ask the executor for its chunk/window plan so the residency
             # bound below accounts for its undrained futures (duck-typed;
             # executors without one get the per-run defaults).
@@ -692,17 +814,29 @@ class BatchStudyRunner:
                 chunk = self.chunk_size or default_chunk_size(total, jobs)
                 window = max(1, self.window or 2 * jobs)
             in_flight_extra = (window - 1) * chunk
-            chunk_iter = self.executor.run_study_iter(
-                base, config, scenarios,
-                chunk_size=self.chunk_size, window=self.window,
-            )
+            run_chunks = getattr(self.executor, "run_study_chunks", None)
+            if run_chunks is not None:
+                chunk_iter = run_chunks(
+                    base, config, scenarios,
+                    chunk_size=self.chunk_size, window=self.window,
+                )
+            else:  # duck-typed executor without the instrumented API
+                chunk_iter = (
+                    ChunkOutcome(results=r)
+                    for r in self.executor.run_study_iter(
+                        base, config, scenarios,
+                        chunk_size=self.chunk_size, window=self.window,
+                    )
+                )
         elif self.n_jobs <= 1 or (total is not None and total < 2):
             jobs = 1
+            dispatch_name = "serial.dispatch"
             chunk = self.chunk_size or default_chunk_size(total, 1)
             in_flight_extra = 0
             chunk_iter = self._serial_chunks(base, config, scenarios, chunk)
         else:
             jobs = self.n_jobs if total is None else min(self.n_jobs, total)
+            dispatch_name = "pool.dispatch"
             chunk = self.chunk_size or default_chunk_size(total, jobs)
             window = max(1, self.window or 2 * jobs)
             in_flight_extra = (window - 1) * chunk
@@ -720,36 +854,57 @@ class BatchStudyRunner:
         n_events = 0
         peak_resident = 0
 
-        for chunk_results in chunk_iter:
-            n_done += len(chunk_results)
-            n_chunks += 1
-            reducer.add_many(chunk_results)
-            for r in chunk_results:
-                heap.push(r)
-            if kept is not None:
-                kept.extend(chunk_results)
-            # Parent-resident records right now: the kept list (or just
-            # this chunk when dropping), the worst-K slice, plus the
-            # worst-case results buffered in completed-but-undrained
-            # futures of the in-flight window.
-            resident = (len(kept) if kept is not None else len(chunk_results))
-            peak_resident = max(
-                peak_resident, resident + len(heap) + in_flight_extra
-            )
-            if progress is not None:
-                snap = reducer.snapshot()
-                n_events += 1
-                progress(
-                    StudyProgress(
-                        n_done=n_done,
-                        n_total=total,
-                        n_chunks=n_chunks,
-                        n_converged=snap["n_converged"],
-                        n_errors=snap["n_errors"],
-                        violation_rate=snap["violation_rate"],
-                        elapsed_s=time.perf_counter() - start,
+        # The dispatch span is held open by *this* consumer loop: chunk
+        # iterators are generators, so every submission they make while
+        # being drained captures this span as the remote parent — which
+        # is how worker-chunk spans end up parented under it.
+        with tracer.span("study.run", analysis=self.analysis, case=base.name) as root:
+            with tracer.span(dispatch_name, n_jobs=jobs):
+                for outcome in chunk_iter:
+                    chunk_results = outcome.results
+                    n_done += len(chunk_results)
+                    n_chunks += 1
+                    tracer.adopt(outcome.spans)
+                    metrics.merge_state(outcome.metrics)
+                    with tracer.span("study.reduce", n_results=len(chunk_results)):
+                        reducer.add_many(chunk_results)
+                        for r in chunk_results:
+                            heap.push(r)
+                    if kept is not None:
+                        kept.extend(chunk_results)
+                    # Parent-resident records right now: the kept list (or just
+                    # this chunk when dropping), the worst-K slice, plus the
+                    # worst-case results buffered in completed-but-undrained
+                    # futures of the in-flight window.
+                    resident = (len(kept) if kept is not None else len(chunk_results))
+                    peak_resident = max(
+                        peak_resident, resident + len(heap) + in_flight_extra
                     )
-                )
+                    if progress is not None:
+                        snap = reducer.snapshot()
+                        n_events += 1
+                        progress(
+                            StudyProgress(
+                                n_done=n_done,
+                                n_total=total,
+                                n_chunks=n_chunks,
+                                n_converged=snap["n_converged"],
+                                n_errors=snap["n_errors"],
+                                violation_rate=snap["violation_rate"],
+                                elapsed_s=time.perf_counter() - start,
+                                chunk_wall_s=outcome.wall_s,
+                                worker_pid=outcome.worker_pid,
+                            )
+                        )
+            root.tags["n_scenarios"] = n_done
+            root.tags["n_chunks"] = n_chunks
+
+        metrics.counter(
+            "gridmind_studies_total", "Batch studies by analysis"
+        ).inc(analysis=self.analysis)
+        metrics.histogram(
+            "gridmind_study_seconds", "End-to-end study wall time"
+        ).observe(time.perf_counter() - start)
 
         return StudyResult(
             case_name=base.name,

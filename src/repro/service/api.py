@@ -142,6 +142,10 @@ class StudyReply(BaseModel):
     n_scenarios: int
     n_jobs: int = 1
     runtime_s: float = 0.0
+    #: Trace id of this study's span tree when the service ran with
+    #: tracing enabled (``None`` otherwise); the full trace is exported
+    #: as a ``<study_key>.trace`` sidecar when a store is attached.
+    trace_id: str | None = None
     #: The resolved slice dimensions the study aggregated over (post
     #: alias normalisation and family inference); the cell tables live in
     #: ``summary["aggregate"]["slices"]``.

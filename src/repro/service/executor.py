@@ -32,7 +32,6 @@ list shape for callers that want it.
 
 from __future__ import annotations
 
-import os
 import pickle
 import threading
 from collections import OrderedDict, deque
@@ -42,9 +41,13 @@ from typing import Iterable, Iterator
 
 from ..contingency.cache import network_content_hash
 from ..grid.network import Network
+from ..instrumentation.metrics import get_metrics
+from ..instrumentation.trace import current_trace_context
 from ..scenarios.runner import (
+    ChunkOutcome,
     ScenarioResult,
     StudyConfig,
+    _execute_chunk,
     _WorkerState,
     default_chunk_size,
     iter_chunks,
@@ -68,12 +71,16 @@ def _run_shared_chunk(
     base_blob: bytes,
     config: StudyConfig,
     scenarios: list[Scenario],
-) -> tuple[int, list[ScenarioResult]]:
+    trace_ctx: tuple[str, str] | None = None,
+    collect_metrics: bool = True,
+) -> ChunkOutcome:
     """Evaluate one chunk, reusing this worker's resident study state.
 
-    Returns ``(pid, results)`` so the parent can observe which workers
-    served the study — the acceptance signal that consecutive studies
-    reuse one pool instead of spawning fresh processes.
+    Returns a :class:`~repro.scenarios.runner.ChunkOutcome` carrying the
+    worker pid (the acceptance signal that consecutive studies reuse one
+    pool instead of spawning fresh processes) plus the chunk's spans —
+    minted under the dispatcher's serialised ``trace_ctx`` so they stitch
+    into the parent trace — and its worker-local metrics delta.
     """
     state = _STATES.get(study_key)
     if state is None:
@@ -84,7 +91,7 @@ def _run_shared_chunk(
             _STATES.popitem(last=False)
     else:
         _STATES.move_to_end(study_key)
-    return os.getpid(), [state.run_scenario(s) for s in scenarios]
+    return _execute_chunk(state, scenarios, trace_ctx, collect_metrics)
 
 
 # ----------------------------------------------------------------------
@@ -122,10 +129,18 @@ class StudyExecutor:
         max_workers: int = 2,
         chunk_size: int | None = None,
         window: int | None = None,
+        retries: int = 0,
     ) -> None:
         self.max_workers = max(1, int(max_workers))
         self.chunk_size = chunk_size
         self.window = window
+        #: Broken-pool retry budget per chunk.  ``0`` (the default)
+        #: preserves the historical contract: a worker death poisons the
+        #: study, the pool is replaced, and the *next* study starts
+        #: clean.  ``retries=N`` instead resubmits the lost chunk (and
+        #: every chunk that was in flight behind it, in order) to the
+        #: replacement pool up to N times before giving up.
+        self.retries = max(0, int(retries))
         self._pool: ProcessPoolExecutor | None = None
         self._lock = threading.Lock()
         # Lifecycle instrumentation: `pools_started` staying at 1 across
@@ -133,6 +148,7 @@ class StudyExecutor:
         self.pools_started = 0
         self.n_studies = 0
         self.n_chunks = 0
+        self.n_retried = 0  # chunk resubmissions after a pool break
         self.max_in_flight = 0  # peak submitted-not-yet-drained chunks
         self.worker_pids: set[int] = set()
 
@@ -180,7 +196,7 @@ class StudyExecutor:
         )
         return chunk, window
 
-    def run_study_iter(
+    def run_study_chunks(
         self,
         base: Network,
         config: StudyConfig,
@@ -188,15 +204,23 @@ class StudyExecutor:
         *,
         chunk_size: int | None = None,
         window: int | None = None,
-    ) -> Iterator[list[ScenarioResult]]:
+    ) -> Iterator[ChunkOutcome]:
         """Stream ``scenarios`` through the shared pool, chunk by chunk.
 
         Chunks are drawn lazily from the scenario stream with at most
         ``window`` in flight (submitted but not yet drained) — the
         backpressure that keeps a 10k-scenario ensemble from piling
         either pending futures or completed-but-unread results into
-        parent memory.  Completed chunks are yielded in scenario order,
-        so consumers fold them into an online reducer and drop them.
+        parent memory.  Completed chunks are yielded in scenario order as
+        :class:`~repro.scenarios.runner.ChunkOutcome` records, so
+        consumers fold the results into an online reducer, stitch the
+        worker spans into the parent trace, and drop them.
+
+        Each submission captures :func:`current_trace_context` — since a
+        generator body runs in its consumer's context, that is the span
+        the fold loop holds open while draining — and ships it to the
+        worker, which is what parents worker-chunk spans under the
+        dispatch span across the process boundary.
         """
         total = stream_length(scenarios)
         if total == 0:
@@ -207,8 +231,22 @@ class StudyExecutor:
             total, chunk_size=chunk_size, window=window
         )
         chunks = iter_chunks(scenarios, chunk)
+        metrics = get_metrics()
+        dispatched = metrics.counter(
+            "gridmind_chunks_dispatched_total", "Chunks submitted to the shared pool"
+        )
+        retried_total = metrics.counter(
+            "gridmind_chunks_retried_total",
+            "Chunks resubmitted after a broken-pool reset",
+        )
+        in_flight_gauge = metrics.gauge(
+            "gridmind_executor_in_flight", "Chunks submitted but not yet drained"
+        )
+        collect = metrics.enabled
 
-        def submit(c: list[Scenario]):
+        def submit(c: list[Scenario], attempt: int = 0):
+            nonlocal n_retried
+            ctx = current_trace_context()
             # Submit under the lock: pool creation, submission, and the
             # broken-pool reset below are mutually exclusive, so no
             # thread can submit into a pool another thread is tearing
@@ -216,17 +254,31 @@ class StudyExecutor:
             # study's failure replaced it mid-stream, later chunks land
             # on the fresh pool (content-addressed worker state rebuilds
             # transparently).
-            with self._lock:
-                pool = self._start_locked()
-                try:
-                    return pool, pool.submit(_run_shared_chunk, key, blob, config, c)
-                except BrokenProcessPool:
-                    self._reset_broken_pool(pool)
-                    raise
+            while True:
+                with self._lock:
+                    pool = self._start_locked()
+                    try:
+                        future = pool.submit(
+                            _run_shared_chunk, key, blob, config, c, ctx, collect
+                        )
+                    except BrokenProcessPool:
+                        # A worker death can surface at submit time (the
+                        # pool was already flagged broken) instead of at
+                        # result time; both paths honour the same budget.
+                        self._reset_broken_pool(pool)
+                        if attempt >= self.retries:
+                            raise
+                        attempt += 1
+                        n_retried += 1
+                        retried_total.inc()
+                        continue
+                dispatched.inc()
+                return pool, future, c, attempt
 
         pending: deque = deque()
         pids: set[int] = set()
         n_chunks = 0
+        n_retried = 0
         peak_in_flight = 0
         try:
             exhausted = False
@@ -238,11 +290,12 @@ class StudyExecutor:
                         break
                     pending.append(submit(nxt))
                     peak_in_flight = max(peak_in_flight, len(pending))
+                    in_flight_gauge.set(len(pending))
                 if not pending:
                     break
-                pool, future = pending.popleft()
+                pool, future, chunk_scns, attempt = pending.popleft()
                 try:
-                    pid, chunk_results = future.result()
+                    outcome = future.result()
                 except BrokenProcessPool:
                     # Only a *broken* pool (a worker died) poisons later
                     # submissions and must be dropped so the next study
@@ -251,21 +304,55 @@ class StudyExecutor:
                     # on it — untouched.
                     with self._lock:
                         self._reset_broken_pool(pool)
-                    raise
-                pids.add(pid)
+                    if attempt >= self.retries:
+                        raise
+                    # Opt-in recovery: requeue the lost chunk and every
+                    # chunk that was in flight behind it, in order, on
+                    # the replacement pool — order-preserving, so the
+                    # study's result stream is indistinguishable from an
+                    # unbroken run.
+                    stale = [(chunk_scns, attempt + 1)]
+                    stale.extend((c, a + 1) for (_p, _f, c, a) in pending)
+                    for _p, f, _c, _a in pending:
+                        f.cancel()
+                    pending.clear()
+                    for c, a in stale:
+                        pending.append(submit(c, a))
+                    n_retried += 1
+                    retried_total.inc()
+                    continue
+                in_flight_gauge.set(len(pending))
+                pids.add(outcome.worker_pid)
                 n_chunks += 1
-                yield chunk_results
+                yield outcome
         finally:
             # Early consumer exit (or an error) must not leak queued work.
-            for _pool, future in pending:
+            for _pool, future, _c, _a in pending:
                 future.cancel()
+            in_flight_gauge.set(0)
             with self._lock:
                 self.n_chunks += n_chunks
+                self.n_retried += n_retried
                 self.max_in_flight = max(self.max_in_flight, peak_in_flight)
                 self.worker_pids.update(pids)
 
         with self._lock:
             self.n_studies += 1
+
+    def run_study_iter(
+        self,
+        base: Network,
+        config: StudyConfig,
+        scenarios: Iterable[Scenario],
+        *,
+        chunk_size: int | None = None,
+        window: int | None = None,
+    ) -> Iterator[list[ScenarioResult]]:
+        """Plain-results view of :meth:`run_study_chunks` (compat shape)."""
+        for outcome in self.run_study_chunks(
+            base, config, scenarios, chunk_size=chunk_size, window=window
+        ):
+            yield outcome.results
 
     def run_study(
         self,
@@ -310,6 +397,7 @@ class StudyExecutor:
                 "pools_started": self.pools_started,
                 "n_studies": self.n_studies,
                 "n_chunks": self.n_chunks,
+                "n_retried": self.n_retried,
                 "max_in_flight": self.max_in_flight,
                 "n_worker_pids": len(self.worker_pids),
                 "alive": self._pool is not None,

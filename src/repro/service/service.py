@@ -27,6 +27,8 @@ import asyncio
 from dataclasses import dataclass, field
 
 from ..core.session import GridMindSession
+from ..instrumentation.metrics import get_metrics, render_prometheus
+from ..instrumentation.trace import Tracer, get_tracer, set_tracer
 from .api import (
     STUDY_KINDS,
     AskReply,
@@ -80,17 +82,27 @@ class GridMindService:
         store: ResultStore | None = None,
         store_dir: str | None = None,
         max_sessions: int = 128,
+        trace: bool = False,
+        retries: int = 0,
     ) -> None:
         if store is None and store_dir is not None:
             store = ResultStore(store_dir)
         self.model = model
         self.seed = seed
         self.store = store
+        # ``trace=True`` installs a recording tracer process-wide for the
+        # service's lifetime (restored on aclose): every layer down to
+        # the pool workers emits spans, and traced studies export a
+        # ``.trace`` sidecar next to their store payload.
+        self._prev_tracer: Tracer | None = None
+        if trace:
+            self._prev_tracer = set_tracer(Tracer())
+        self.tracer = get_tracer()
         # Started eagerly: the service construction thread is (normally)
         # the only thread alive, so workers fork before session turns
         # start running on to_thread workers — and the pool is warm for
         # the first study.
-        self.executor = StudyExecutor(max_workers=max_workers).start()
+        self.executor = StudyExecutor(max_workers=max_workers, retries=retries).start()
         self.max_sessions = max_sessions
         self._slots: dict[str, _SessionSlot] = {}
         self._closed = False
@@ -162,8 +174,11 @@ class GridMindService:
 
         # Serialise turns per session; the blocking solver/LLM work runs
         # on a thread so *other* sessions' turns proceed concurrently.
+        # (asyncio.to_thread copies the contextvar context, so the span
+        # opened here is the parent of everything the session records.)
         async with slot.lock:
-            reply = await asyncio.to_thread(slot.session.ask, request.text)
+            with get_tracer().span("service.ask", session_id=request.session_id):
+                reply = await asyncio.to_thread(slot.session.ask, request.text)
             slot.turns += 1
             turn = slot.turns
             record = slot.session.last_record
@@ -241,28 +256,40 @@ class GridMindService:
             slice_by=slice_by,
             slice_max_values=request.slice_max_values,
         )
-        study = runner.run(
-            net,
-            scenarios,
-            progress=on_chunk,
-            keep_results=self.store is not None,
-        )
-        key = None
-        if self.store is not None:
-            key = self.store.put(
+        tracer = get_tracer()
+        with tracer.span(
+            "service.run_study", kind=request.kind, case=request.case_name
+        ) as root:
+            study = runner.run(
                 net,
-                runner.config(),
                 scenarios,
-                study,
-                study_kind=request.kind,
-                label=request.label,
+                progress=on_chunk,
+                keep_results=self.store is not None,
             )
+            key = None
+            if self.store is not None:
+                key = self.store.put(
+                    net,
+                    runner.config(),
+                    scenarios,
+                    study,
+                    study_kind=request.kind,
+                    label=request.label,
+                )
+        trace_id = root.trace_id if tracer.enabled else None
+        if key and trace_id:
+            # Export after the root span closes so it is part of the
+            # sidecar; the store resolves the key to the payload path.
+            self.store.put_trace(key, tracer.spans(trace_id))
         summary = study.to_dict(max_scenarios=5)
         summary["study_kind"] = request.kind
         if key:
             summary["study_key"] = key
+        if trace_id:
+            summary["trace_id"] = trace_id
         return StudyReply(
             study_key=key,
+            trace_id=trace_id,
             case_name=study.case_name,
             analysis=study.analysis,
             study_kind=request.kind,
@@ -299,6 +326,10 @@ class GridMindService:
             "n_stored_studies": len(self.store) if self.store is not None else 0,
         }
 
+    def metrics_text(self) -> str:
+        """The process-wide metrics registry in Prometheus text exposition."""
+        return render_prometheus(get_metrics())
+
     def _check_open(self) -> None:
         if self._closed:
             raise ServiceClosed("GridMindService is closed")
@@ -308,6 +339,9 @@ class GridMindService:
         if self._closed:
             return
         self._closed = True
+        if self._prev_tracer is not None:
+            set_tracer(self._prev_tracer)
+            self._prev_tracer = None
         await asyncio.to_thread(self.executor.shutdown)
 
     async def __aenter__(self) -> "GridMindService":

@@ -46,6 +46,7 @@ from pathlib import Path
 
 from ..contingency.cache import network_content_hash
 from ..grid.network import Network
+from ..instrumentation.metrics import get_metrics
 from ..scenarios.aggregate import (
     DEFAULT_SLICE_MAX_VALUES,
     SliceSpec,
@@ -161,6 +162,12 @@ class ResultStore:
     def _index_path(self, key: str) -> Path:
         return self.root / f"{key}.index"
 
+    def _trace_path(self, key: str) -> Path:
+        # JSON-lines span export (one span dict per line), written by
+        # :meth:`put_trace` for traced studies; see
+        # :mod:`repro.instrumentation.trace`.
+        return self.root / f"{key}.trace"
+
     def _write_atomic(self, path: Path, text: str) -> None:
         """Write via a unique temp file + rename: concurrent puts of the
         same study (identical content-hash key) must not fight over one
@@ -246,7 +253,49 @@ class ResultStore:
         self._write_atomic(
             self._meta_path(key), json.dumps(dataclasses.asdict(meta))
         )
+        metrics = get_metrics()
+        metrics.counter("gridmind_store_puts_total", "Studies persisted").inc()
+        metrics.counter(
+            "gridmind_store_bytes_written_total", "Bytes written to the store"
+        ).inc(self._entry_bytes(key))
         return key
+
+    # ------------------------------------------------------------------
+    # trace sidecars
+    # ------------------------------------------------------------------
+    def put_trace(self, key: str, spans: list) -> Path:
+        """Persist a study's trace as a JSON-lines ``<key>.trace`` sidecar.
+
+        ``spans`` are :class:`~repro.instrumentation.trace.Span` objects
+        or their dicts.  The sidecar lives alongside the study payload
+        under the same content-hash key, so ``gridmind trace <ref>`` can
+        resolve it through the usual key/prefix/label forms; it is
+        removed with the entry on :meth:`prune`.
+        """
+        lines = []
+        for span in spans:
+            data = span.to_dict() if hasattr(span, "to_dict") else span
+            lines.append(json.dumps(data, default=str))
+        path = self._trace_path(self.resolve(key))
+        self._write_atomic(path, "\n".join(lines) + ("\n" if lines else ""))
+        get_metrics().counter(
+            "gridmind_store_traces_total", "Trace sidecars persisted"
+        ).inc()
+        return path
+
+    def load_trace(self, ref: str) -> list[dict]:
+        """Parsed span dicts for a stored study's trace sidecar."""
+        key = self.resolve(ref)
+        path = self._trace_path(key)
+        if not path.exists():
+            raise StudyNotFound(
+                f"study {key} has no trace sidecar (was it run with --trace?)"
+            )
+        return [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
 
     @staticmethod
     def _index_doc(
@@ -279,6 +328,11 @@ class ResultStore:
         payload = json.loads(path.read_text())
         if payload.get("format") != FORMAT:
             raise ValueError(f"{path}: not a {FORMAT} file")
+        metrics = get_metrics()
+        metrics.counter("gridmind_store_hits_total", "Stored-study payload reads").inc()
+        metrics.counter(
+            "gridmind_store_bytes_read_total", "Bytes read from the store"
+        ).inc(path.stat().st_size)
         return payload
 
     def load_result(self, key: str) -> StudyResult:
@@ -455,9 +509,14 @@ class ResultStore:
     # lifecycle: retention and integrity
     # ------------------------------------------------------------------
     def _entry_bytes(self, key: str) -> int:
-        """On-disk footprint of one study (payload + both sidecars)."""
+        """On-disk footprint of one study (payload + all sidecars)."""
         size = 0
-        for path in (self._path(key), self._meta_path(key), self._index_path(key)):
+        for path in (
+            self._path(key),
+            self._meta_path(key),
+            self._index_path(key),
+            self._trace_path(key),
+        ):
             try:
                 size += path.stat().st_size
             except OSError:
@@ -465,7 +524,12 @@ class ResultStore:
         return size
 
     def _delete(self, key: str) -> None:
-        for path in (self._path(key), self._meta_path(key), self._index_path(key)):
+        for path in (
+            self._path(key),
+            self._meta_path(key),
+            self._index_path(key),
+            self._trace_path(key),
+        ):
             with contextlib.suppress(OSError):
                 path.unlink()
 
