@@ -216,6 +216,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace every request end to end; stored studies gain a "
         "<key>.trace sidecar readable with `gridmind trace`",
     )
+    serve.add_argument(
+        "--metrics-file",
+        default=None,
+        metavar="PATH",
+        help="write the Prometheus text exposition of the process metrics "
+        "registry here on shutdown (after --turn/--demo runs too), so "
+        "scrapes don't require embedding the service",
+    )
     for flag, kwargs in (
         ("--model", {}),
         ("--seed", {"type": int}),
@@ -255,6 +263,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument(
         "--json", action="store_true", help="emit the raw span records as JSON"
+    )
+
+    health = sub.add_parser(
+        "health",
+        help="one-shot health report from a store's persisted metric snapshots",
+        description=(
+            "Load the health-snapshot sidecar a service wrote into the "
+            "store directory, evaluate the health rule set against the "
+            "windowed series, and print the per-rule OK/WARN/CRIT report. "
+            "Exits 1 when any rule is CRIT (for scripting and CI gates), "
+            "2 on usage errors."
+        ),
+    )
+    health.add_argument("store", help="result-store directory holding the sidecar")
+    health.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    health.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evaluate rules over this trailing window (default: each "
+        "rule's own window)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live console over a store's health snapshots (executor, "
+        "sessions, SLOs, alerts)",
+        description=(
+            "Refreshing operational console: reloads the store's health "
+            "sidecar every interval and renders executor occupancy, "
+            "per-session rates, the worst SLO burn rates, and recent "
+            "alert transitions."
+        ),
+    )
+    top.add_argument("store", help="result-store directory holding the sidecar")
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render N frames then exit (default: run until interrupted)",
     )
     return parser
 
@@ -533,6 +592,14 @@ async def _serve_async(args) -> int:
         if getattr(args, "trace", False) and service.tracer.enabled:
             _print_trace(service.tracer)
         await service.aclose()
+        metrics_file = getattr(args, "metrics_file", None)
+        if metrics_file:
+            # After aclose() so the exposition includes the final health
+            # snapshot and every merged worker delta.
+            from pathlib import Path
+
+            Path(metrics_file).write_text(service.metrics_text())
+            print(f"[gridmind] metrics written to {metrics_file}", file=sys.stderr)
         if store_ctx is not None:
             store_ctx.cleanup()
 
@@ -580,6 +647,174 @@ def run_trace(args) -> int:
     return 0
 
 
+_STATUS_TAG = {"ok": " OK ", "warn": "WARN", "crit": "CRIT"}
+
+
+def _load_store_sampler(store_dir: str):
+    """Rebuild a sampler from a store's health-snapshot sidecar.
+
+    Returns ``(sampler, error_message)``; error is set when the store
+    has no usable snapshots (the caller prints it and exits 2).
+    """
+    from ..instrumentation.rollup import MetricsSampler
+    from ..service.store import ResultStore
+
+    store = ResultStore(store_dir)
+    snaps = store.load_health_snapshots()
+    if not snaps:
+        return None, (
+            f"no health snapshots in {store.root} (run the service with "
+            "health sampling enabled against this store first)"
+        )
+    sampler = MetricsSampler.from_snapshots(snaps, max_samples=max(2, len(snaps)))
+    if sampler.n_samples < 2:
+        return None, (
+            f"only {sampler.n_samples} usable snapshot(s) in {store.root}; "
+            "windowed health needs at least 2"
+        )
+    return sampler, None
+
+
+def _format_report(report) -> str:
+    lines = [
+        f"health: {report.status.upper()}  "
+        f"({report.n_samples} snapshots spanning {report.window_span_s:.0f}s)"
+    ]
+    for r in report.rules:
+        value = "-" if r.value is None else f"{r.value:.4g}"
+        thresholds = (
+            f"warn {'-' if r.warn is None else f'{r.warn:g}'}"
+            f" crit {'-' if r.crit is None else f'{r.crit:g}'}"
+        )
+        line = (
+            f"  [{_STATUS_TAG[r.status]}] {r.name:<22s} {value:>10s}"
+            f"  ({thresholds}) — {r.detail}"
+        )
+        if r.burn_rate is not None:
+            line += f" [burn {r.burn_rate:.1f}x]"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def run_health(args) -> int:
+    """Execute the ``health`` subcommand: one-shot report from a store."""
+    import dataclasses
+
+    from ..instrumentation.health import builtin_rules, evaluate_health
+
+    sampler, error = _load_store_sampler(args.store)
+    if error:
+        print(f"gridmind health: error: {error}", file=sys.stderr)
+        return 2
+    rules = builtin_rules()
+    if args.window is not None:
+        rules = [dataclasses.replace(r, window_s=args.window) for r in rules]
+    report = evaluate_health(sampler, rules)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(_format_report(report))
+    return 1 if report.status == "crit" else 0
+
+
+def _render_top_frame(sampler, monitor, report) -> str:
+    """One ``gridmind top`` frame as a string (testable without a TTY)."""
+    import time as _time
+
+    lines: list[str] = []
+    ts = sampler.latest_ts or 0.0
+    lines.append(
+        f"gridmind top — {_time.strftime('%H:%M:%S', _time.localtime(ts))} "
+        f"| {sampler.n_samples} snapshots over {sampler.window_span_s:.0f}s "
+        f"| status {report.status.upper()}"
+    )
+
+    in_flight = sampler.gauge_value("gridmind_executor_in_flight")
+    dispatch_rate = sampler.rate("gridmind_chunks_dispatched_total")
+    scenario_rate = sampler.rate("gridmind_scenarios_total")
+    executor_line = (
+        f"executor: in-flight {'-' if in_flight is None else f'{in_flight:.0f}'}"
+        f" | chunks/s {'-' if dispatch_rate is None else f'{dispatch_rate:.2f}'}"
+        f" | scenarios/s {'-' if scenario_rate is None else f'{scenario_rate:.1f}'}"
+    )
+    lines.append(executor_line)
+
+    sessions = sampler.label_values("gridmind_session_chunks_total", "session")
+    if sessions:
+        lines.append("sessions:")
+        lines.append(
+            f"  {'session':<12s} {'chunks':>8s} {'scen':>8s} "
+            f"{'exec-s':>8s} {'scen/s':>8s}"
+        )
+        for sid in sessions:
+            match = {"session": sid}
+            chunks = sampler.counter_value("gridmind_session_chunks_total", match)
+            scen = sampler.counter_value("gridmind_session_scenarios_total", match)
+            wall = sampler.counter_value(
+                "gridmind_session_executor_seconds_total", match
+            )
+            rate = sampler.rate("gridmind_session_scenarios_total", match)
+            lines.append(
+                f"  {sid:<12s} {chunks:>8.0f} {scen:>8.0f} {wall:>8.1f} "
+                + (f"{rate:>8.1f}" if rate is not None else f"{'-':>8s}")
+            )
+
+    burning = report.worst_by_burn(3)
+    if burning:
+        lines.append("worst SLOs:")
+        for r in burning:
+            lines.append(
+                f"  {r.name:<22s} burn {r.burn_rate:>6.1f}x "
+                f"[{_STATUS_TAG[r.status]}] {r.detail}"
+            )
+
+    alerts = monitor.alerts()
+    if alerts:
+        lines.append("recent alerts:")
+        for a in alerts[-5:]:
+            when = _time.strftime("%H:%M:%S", _time.localtime(a.ts))
+            lines.append(
+                f"  #{a.seq} {when} {a.rule}: {a.previous} -> {a.status} "
+                f"({a.transition})"
+            )
+    else:
+        lines.append("recent alerts: none")
+    return "\n".join(lines)
+
+
+def run_top(args) -> int:
+    """Execute the ``top`` subcommand: refreshing console over a store."""
+    import time as _time
+
+    from ..instrumentation.health import HealthMonitor, evaluate_health
+
+    tty = _supports_color(sys.stdout)
+    n = 0
+    try:
+        while True:
+            sampler, error = _load_store_sampler(args.store)
+            if error:
+                print(f"gridmind top: error: {error}", file=sys.stderr)
+                return 2
+            # Replay the snapshot history through a fresh monitor so the
+            # alert trail matches what a live service would have fired.
+            stride = max(1, sampler.n_samples // 32)
+            monitor = HealthMonitor.replay(sampler, stride=stride)
+            report = evaluate_health(sampler)
+            frame = _render_top_frame(sampler, monitor, report)
+            if tty:
+                print("\x1b[2J\x1b[H" + frame, flush=True)
+            else:
+                print(frame, flush=True)
+            n += 1
+            if args.iterations is not None and n >= args.iterations:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "command", None) == "study":
@@ -588,6 +823,10 @@ def main(argv: list[str] | None = None) -> int:
         return run_serve(args)
     if getattr(args, "command", None) == "trace":
         return run_trace(args)
+    if getattr(args, "command", None) == "health":
+        return run_health(args)
+    if getattr(args, "command", None) == "top":
+        return run_top(args)
     color = _supports_color(sys.stdout)
     cyan = _CYAN if color else ""
     dim = _DIM if color else ""

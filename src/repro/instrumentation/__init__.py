@@ -1,6 +1,25 @@
-"""Instrumentation bench (DESIGN.md S10): logging, auditing, tracing, metrics."""
+"""Instrumentation bench (DESIGN.md S10): logging, auditing, tracing, metrics, health."""
 
+from .accounting import (
+    current_session,
+    known_sessions,
+    record_chunk,
+    record_study,
+    record_turn,
+    session_scope,
+    session_usage,
+)
 from .audit import AuditResult, audit_narration
+from .health import (
+    AlertEvent,
+    HealthMonitor,
+    HealthReport,
+    HealthRule,
+    RuleResult,
+    SloSpec,
+    builtin_rules,
+    evaluate_health,
+)
 from .metrics import (
     MetricsRegistry,
     get_metrics,
@@ -9,6 +28,7 @@ from .metrics import (
     state_delta,
 )
 from .ringlog import RingLog
+from .rollup import MetricsSampler, snapshot_registry
 from .runlog import RequestRecord, RunLogger
 from .trace import (
     Span,
@@ -21,21 +41,38 @@ from .trace import (
 )
 
 __all__ = [
+    "AlertEvent",
     "AuditResult",
+    "HealthMonitor",
+    "HealthReport",
+    "HealthRule",
     "MetricsRegistry",
+    "MetricsSampler",
     "RequestRecord",
     "RingLog",
+    "RuleResult",
     "RunLogger",
+    "SloSpec",
     "Span",
     "Tracer",
     "audit_narration",
+    "builtin_rules",
+    "current_session",
     "current_trace_context",
+    "evaluate_health",
     "format_trace_report",
     "get_metrics",
     "get_tracer",
+    "known_sessions",
+    "record_chunk",
+    "record_study",
+    "record_turn",
     "render_prometheus",
+    "session_scope",
+    "session_usage",
     "set_metrics",
     "set_tracer",
+    "snapshot_registry",
     "state_delta",
     "tracing",
 ]

@@ -1,0 +1,151 @@
+"""Per-session resource accounting on top of the metrics registry.
+
+Every service session gets a label; work done on its behalf — agent
+turns, study chunks, scenarios solved, executor wall-time — is recorded
+into session-labelled counters so "which session is burning the pool?"
+is a registry query, not a log grep.
+
+Attribution travels by contextvar: :func:`session_scope` binds the
+session label around a request, and because both ``asyncio.to_thread``
+and the service's request path copy contextvars, the label is visible
+inside the synchronous study fold loop without threading an argument
+through every layer.  Worker processes never see the label — chunk
+metrics ship back via ``state_delta`` unlabelled, and the *parent-side*
+fold loop attributes them (one :func:`record_chunk` per
+``ChunkOutcome``), which keeps attribution correct under the shared
+process pool where one worker serves many sessions.
+
+The counters are ordinary registry instruments, so session usage flows
+through snapshots, Prometheus exposition, and the rollup/health layer
+for free (``gridmind top`` derives per-session rates from them).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import Iterator
+
+from .metrics import MetricsRegistry, get_metrics
+
+#: Label applied when work runs outside any session scope (direct
+#: ``run_study`` calls, scripts, tests).
+UNATTRIBUTED = "_direct"
+
+_SESSION: ContextVar[str] = ContextVar("gridmind_session", default=UNATTRIBUTED)
+
+
+def current_session() -> str:
+    """The session label bound to the current context."""
+    return _SESSION.get()
+
+
+@contextlib.contextmanager
+def session_scope(session_id: str | None) -> Iterator[str]:
+    """Bind ``session_id`` as the accounting label for the enclosed work."""
+    label = session_id or UNATTRIBUTED
+    token = _SESSION.set(label)
+    try:
+        yield label
+    finally:
+        _SESSION.reset(token)
+
+
+# ----------------------------------------------------------------------
+# recording
+# ----------------------------------------------------------------------
+def _registry(registry: MetricsRegistry | None) -> MetricsRegistry:
+    return registry if registry is not None else get_metrics()
+
+
+def record_turn(
+    session: str | None = None, *, registry: MetricsRegistry | None = None
+) -> None:
+    """Count one agent turn against ``session`` (default: current scope)."""
+    label = session or current_session()
+    _registry(registry).counter(
+        "gridmind_session_turns_total", "Agent turns per session."
+    ).inc(session=label)
+
+
+def record_chunk(
+    n_scenarios: int,
+    wall_s: float,
+    session: str | None = None,
+    *,
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Attribute one completed study chunk to ``session``.
+
+    ``wall_s`` is the worker-side chunk wall time, i.e. executor
+    occupancy bought by this session — the fair-share currency.
+    """
+    label = session or current_session()
+    reg = _registry(registry)
+    reg.counter(
+        "gridmind_session_chunks_total", "Study chunks per session."
+    ).inc(session=label)
+    reg.counter(
+        "gridmind_session_scenarios_total", "Scenarios solved per session."
+    ).inc(n_scenarios, session=label)
+    reg.counter(
+        "gridmind_session_executor_seconds_total",
+        "Executor worker wall-seconds consumed per session.",
+    ).inc(wall_s, session=label)
+
+
+def record_study(
+    session: str | None = None, *, registry: MetricsRegistry | None = None
+) -> None:
+    """Count one completed study against ``session``."""
+    label = session or current_session()
+    _registry(registry).counter(
+        "gridmind_session_studies_total", "Completed studies per session."
+    ).inc(session=label)
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+_USAGE_COUNTERS = {
+    "turns": "gridmind_session_turns_total",
+    "studies": "gridmind_session_studies_total",
+    "chunks": "gridmind_session_chunks_total",
+    "scenarios": "gridmind_session_scenarios_total",
+    "executor_seconds": "gridmind_session_executor_seconds_total",
+}
+
+
+def session_usage(
+    session: str, *, registry: MetricsRegistry | None = None
+) -> dict[str, float]:
+    """Cumulative usage for one session label, zero-filled.
+
+    Reads the live registry (not snapshots): the answer is current as of
+    the call, matching what ``SessionInfo`` surfaces per request.
+    """
+    reg = _registry(registry)
+    state = reg.state()
+    counters = state.get("counters", {})
+    usage: dict[str, float] = {}
+    for field, metric in _USAGE_COUNTERS.items():
+        series = counters.get(metric, {}).get("series", {})
+        total = 0.0
+        for key, value in series.items():
+            if ("session", session) in key:
+                total += value
+        usage[field] = total
+    return usage
+
+
+def known_sessions(*, registry: MetricsRegistry | None = None) -> list[str]:
+    """Session labels that have recorded any usage, sorted."""
+    state = _registry(registry).state()
+    counters = state.get("counters", {})
+    labels: set[str] = set()
+    for metric in _USAGE_COUNTERS.values():
+        for key in counters.get(metric, {}).get("series", {}):
+            for k, v in key:
+                if k == "session":
+                    labels.add(v)
+    return sorted(labels)

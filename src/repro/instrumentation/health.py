@@ -1,0 +1,462 @@
+"""Declarative health rules, SLO evaluation, and an alert ring.
+
+The rollup layer (:mod:`repro.instrumentation.rollup`) answers windowed
+questions about raw metrics; this module turns those answers into an
+operational verdict.  A :class:`HealthRule` names one windowed query —
+a failure *ratio*, a latency *quantile*, a gauge *saturation*, a
+throughput *rate*, or a plain gauge *value* — with WARN and CRIT
+thresholds; :func:`evaluate_health` runs a rule set against a sampler
+and folds the per-rule results into a :class:`HealthReport` whose
+overall status is the worst rule's.
+
+Evaluation is a pure function of the sampler's retained snapshots (plus
+the evaluation timestamp, which defaults to the latest snapshot's), so a
+report computed from a store's persisted snapshot sidecar is identical
+to the one the live service produced — the reproducibility contract the
+``gridmind health`` CLI relies on.
+
+Alerting is edge-triggered: a :class:`HealthMonitor` watches successive
+reports and appends a seq-numbered :class:`AlertEvent` to a
+:class:`~repro.instrumentation.ringlog.RingLog` only on *transitions*
+(ok→warn, warn→crit, crit→ok, ...), so the ring records the incident
+history, not one line per evaluation tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .ringlog import RingLog
+from .rollup import MetricsSampler
+
+OK = "ok"
+WARN = "warn"
+CRIT = "crit"
+
+_SEVERITY = {OK: 0, WARN: 1, CRIT: 2}
+
+
+def worst_status(statuses: Iterable[str]) -> str:
+    return max(statuses, key=lambda s: _SEVERITY[s], default=OK)
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """A service-level objective attached to a ratio-kind rule.
+
+    ``objective`` is the *good* fraction promised (e.g. ``0.99`` = at
+    most 1% of events may be bad).  Burn rate is the standard multiplier
+    of the error budget being consumed: ``bad_fraction / (1 -
+    objective)`` — 1.0 means burning exactly at budget, 10 means the
+    budget is gone in a tenth of the window.
+    """
+
+    objective: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"SLO objective must be in (0, 1), got {self.objective}"
+            )
+
+    def burn_rate(self, bad_fraction: float) -> float:
+        return bad_fraction / (1.0 - self.objective)
+
+
+@dataclass(frozen=True)
+class HealthRule:
+    """One declarative check against the rollup windows.
+
+    ``kind`` selects the query:
+
+    * ``ratio`` — ``metric`` increase / ``denominator`` increase over the
+      window (failure rates).  ``match`` filters the numerator series,
+      ``den_match`` the denominator's.
+    * ``quantile`` — interpolated ``quantile`` of histogram ``metric``'s
+      window observations (latency objectives).
+    * ``saturation`` — trailing seconds gauge ``metric`` has sat at or
+      above ``level`` (``level=None`` = its window peak).
+    * ``rate`` — per-second increase of counter ``metric``.
+    * ``value`` — latest reading of gauge ``metric``.
+
+    ``direction`` is ``"above"`` (value >= threshold is bad, the default)
+    or ``"below"`` (value <= threshold is bad, for throughput floors).
+    Thresholds may be ``None`` to disable that level.
+    """
+
+    name: str
+    kind: str
+    metric: str
+    warn: float | None = None
+    crit: float | None = None
+    denominator: str | None = None
+    match: tuple[tuple[str, str], ...] = ()
+    den_match: tuple[tuple[str, str], ...] = ()
+    quantile: float = 0.95
+    level: float | None = None
+    direction: str = "above"
+    window_s: float | None = 300.0
+    slo: SloSpec | None = None
+    help: str = ""
+
+    _KINDS = ("ratio", "quantile", "saturation", "rate", "value")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(
+                f"unknown rule kind {self.kind!r}; expected one of {self._KINDS}"
+            )
+        if self.direction not in ("above", "below"):
+            raise ValueError(
+                f"direction must be 'above' or 'below', got {self.direction!r}"
+            )
+        if self.kind == "ratio" and not self.denominator:
+            raise ValueError(f"ratio rule {self.name!r} needs a denominator")
+
+    def _breaches(self, value: float, threshold: float | None) -> bool:
+        if threshold is None:
+            return False
+        if self.direction == "above":
+            return value >= threshold
+        return value <= threshold
+
+    def classify(self, value: float) -> str:
+        if self._breaches(value, self.crit):
+            return CRIT
+        if self._breaches(value, self.warn):
+            return WARN
+        return OK
+
+
+@dataclass(frozen=True)
+class RuleResult:
+    """Outcome of evaluating one rule: a status plus the evidence."""
+
+    name: str
+    kind: str
+    status: str
+    value: float | None
+    warn: float | None
+    crit: float | None
+    detail: str
+    burn_rate: float | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "status": self.status,
+            "value": self.value,
+            "warn": self.warn,
+            "crit": self.crit,
+            "detail": self.detail,
+            "burn_rate": self.burn_rate,
+        }
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """One evaluation pass: per-rule results plus window provenance."""
+
+    ts: float
+    status: str
+    rules: tuple[RuleResult, ...]
+    n_samples: int
+    window_span_s: float
+
+    def rule_statuses(self) -> dict[str, str]:
+        return {r.name: r.status for r in self.rules}
+
+    def worst_by_burn(self, k: int = 3) -> list[RuleResult]:
+        burning = [r for r in self.rules if r.burn_rate is not None]
+        burning.sort(key=lambda r: r.burn_rate, reverse=True)
+        return burning[:k]
+
+    def to_dict(self) -> dict:
+        return {
+            "ts": self.ts,
+            "status": self.status,
+            "n_samples": self.n_samples,
+            "window_span_s": self.window_span_s,
+            "rules": [r.to_dict() for r in self.rules],
+        }
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One edge in a rule's status history (firing or resolved)."""
+
+    ts: float
+    rule: str
+    transition: str  # "firing" | "resolved"
+    status: str  # the status the rule moved TO
+    previous: str
+    value: float | None = None
+    seq: int = -1  # assigned by the monitor's ring
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "ts": self.ts,
+            "rule": self.rule,
+            "transition": self.transition,
+            "status": self.status,
+            "previous": self.previous,
+            "value": self.value,
+        }
+
+
+# ----------------------------------------------------------------------
+# evaluation
+# ----------------------------------------------------------------------
+def _evaluate_rule(
+    sampler: MetricsSampler, rule: HealthRule, now: float
+) -> RuleResult:
+    value: float | None = None
+    detail = ""
+    burn = None
+    match = dict(rule.match) or None
+    if rule.kind == "ratio":
+        num = sampler.counter_delta(rule.metric, match, rule.window_s)
+        den = sampler.counter_delta(
+            rule.denominator, dict(rule.den_match) or None, rule.window_s
+        )
+        if num is None or den is None:
+            detail = "insufficient samples"
+        elif den[0] <= 0:
+            detail = "no events in window"
+        else:
+            value = num[0] / den[0]
+            detail = f"{num[0]:.0f}/{den[0]:.0f} over {den[1]:.0f}s"
+            if rule.slo is not None:
+                burn = rule.slo.burn_rate(value)
+    elif rule.kind == "quantile":
+        value = sampler.window_quantile(
+            rule.metric, rule.quantile, match, rule.window_s
+        )
+        if value is None:
+            detail = "no observations in window"
+        else:
+            detail = f"p{rule.quantile * 100:g} of window observations"
+    elif rule.kind == "saturation":
+        value = sampler.saturated_seconds(
+            rule.metric, rule.level, match, rule.window_s
+        )
+        peak = sampler.gauge_peak(rule.metric, match, rule.window_s)
+        level = rule.level if rule.level is not None else peak
+        detail = f"at/above {level} (peak {peak})" if peak is not None else "no data"
+    elif rule.kind == "rate":
+        value = sampler.rate(rule.metric, match, rule.window_s)
+        detail = "per-second increase" if value is not None else "insufficient samples"
+    elif rule.kind == "value":
+        value = sampler.gauge_value(rule.metric, match)
+        detail = "latest reading" if value is not None else "gauge absent"
+
+    status = OK if value is None else rule.classify(value)
+    if value is None and not detail:
+        detail = "no data"
+    return RuleResult(
+        name=rule.name,
+        kind=rule.kind,
+        status=status,
+        value=value,
+        warn=rule.warn,
+        crit=rule.crit,
+        detail=detail,
+        burn_rate=burn,
+    )
+
+
+def evaluate_health(
+    sampler: MetricsSampler,
+    rules: Sequence[HealthRule] | None = None,
+    now: float | None = None,
+) -> HealthReport:
+    """Evaluate ``rules`` (default: the builtin set) against ``sampler``.
+
+    Pure: the report depends only on the sampler's retained snapshots
+    and ``now`` (default: the latest snapshot's timestamp, so replays
+    from persisted sidecars are deterministic).  Rules with insufficient
+    data report OK with an explanatory detail — absence of evidence is
+    not an incident.
+    """
+    if rules is None:
+        rules = builtin_rules()
+    if now is None:
+        now = sampler.latest_ts if sampler.latest_ts is not None else 0.0
+    results = tuple(_evaluate_rule(sampler, rule, now) for rule in rules)
+    return HealthReport(
+        ts=float(now),
+        status=worst_status(r.status for r in results),
+        rules=results,
+        n_samples=sampler.n_samples,
+        window_span_s=sampler.window_span_s,
+    )
+
+
+# ----------------------------------------------------------------------
+# alerting
+# ----------------------------------------------------------------------
+@dataclass
+class HealthMonitor:
+    """Edge-triggered alerting over successive health reports.
+
+    Feed every report through :meth:`observe`; the monitor keeps the
+    last status per rule and appends an :class:`AlertEvent` to its ring
+    only when a rule's status changes.  ``firing`` marks any move to a
+    worse-than-OK status (including warn→crit escalations); ``resolved``
+    marks a return to OK.
+    """
+
+    rules: tuple[HealthRule, ...] = ()
+    max_alerts: int = 256
+    _ring: RingLog[AlertEvent] = field(init=False)
+    _last: dict[str, str] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.rules:
+            self.rules = tuple(builtin_rules())
+        self._ring = RingLog(self.max_alerts)
+
+    def observe(self, report: HealthReport) -> list[AlertEvent]:
+        """Record transitions from ``report``; return newly appended events."""
+        events: list[AlertEvent] = []
+        for result in report.rules:
+            previous = self._last.get(result.name, OK)
+            if result.status == previous:
+                continue
+            self._last[result.name] = result.status
+            transition = "resolved" if result.status == OK else "firing"
+            event = AlertEvent(
+                ts=report.ts,
+                rule=result.name,
+                transition=transition,
+                status=result.status,
+                previous=previous,
+                value=result.value,
+            )
+            seq = self._ring.append(event)
+            events.append(
+                AlertEvent(**{**event.__dict__, "seq": seq})
+            )
+        return events
+
+    def evaluate(
+        self, sampler: MetricsSampler, now: float | None = None
+    ) -> HealthReport:
+        """Evaluate this monitor's rules and record any transitions."""
+        report = evaluate_health(sampler, self.rules, now)
+        self.observe(report)
+        return report
+
+    def alerts(self, since_seq: int = -1) -> list[AlertEvent]:
+        """Alert events after ``since_seq``, oldest first, seqs attached."""
+        return [
+            AlertEvent(**{**event.__dict__, "seq": seq})
+            for seq, event in self._ring.pairs()
+            if seq > since_seq
+        ]
+
+    @classmethod
+    def replay(
+        cls,
+        sampler: MetricsSampler,
+        rules: Sequence[HealthRule] | None = None,
+        *,
+        stride: int = 1,
+    ) -> "HealthMonitor":
+        """Rebuild alert history by re-evaluating each retained snapshot.
+
+        Walks the sampler's snapshots oldest-first, evaluating the rule
+        set at every ``stride``-th snapshot's timestamp over a growing
+        prefix sampler — the offline equivalent of the live service's
+        periodic evaluate/observe loop, used by ``gridmind top`` to show
+        recent alerts from a sidecar alone.
+        """
+        monitor = cls(rules=tuple(rules) if rules is not None else ())
+        snaps = sampler.snapshots()
+        prefix = MetricsSampler(
+            interval_s=sampler.interval_s, max_samples=max(2, len(snaps))
+        )
+        for i, snap in enumerate(snaps):
+            prefix.ingest(snap)
+            if i % stride == 0 or i == len(snaps) - 1:
+                monitor.evaluate(prefix)
+        return monitor
+
+
+# ----------------------------------------------------------------------
+# builtin rule set
+# ----------------------------------------------------------------------
+def builtin_rules() -> list[HealthRule]:
+    """The default GridMind operational rule set.
+
+    Thresholds are deliberately loose: they are shipped defaults meant
+    to catch gross regressions (a dying pool, a diverging solver fleet),
+    not tuned production SLOs — deployments pass their own rule list to
+    :class:`~repro.service.service.GridMindService` for those.
+    """
+    return [
+        HealthRule(
+            name="chunk_wall_p95",
+            kind="quantile",
+            metric="gridmind_chunk_wall_seconds",
+            quantile=0.95,
+            warn=20.0,
+            crit=60.0,
+            help="p95 study chunk wall time (s); slow chunks starve the stream",
+        ),
+        HealthRule(
+            name="solver_failure_rate",
+            kind="ratio",
+            metric="gridmind_solver_failures_total",
+            denominator="gridmind_solver_invocations_total",
+            warn=0.05,
+            crit=0.25,
+            slo=SloSpec(0.95, "95% of solver invocations converge"),
+            help="fraction of solver invocations failing to converge",
+        ),
+        HealthRule(
+            name="scenario_error_rate",
+            kind="ratio",
+            metric="gridmind_scenarios_total",
+            denominator="gridmind_scenarios_total",
+            match=(("converged", "False"),),
+            warn=0.10,
+            crit=0.50,
+            slo=SloSpec(0.90, "90% of study scenarios converge"),
+            help="fraction of study scenarios that did not converge",
+        ),
+        HealthRule(
+            name="chunk_retry_rate",
+            kind="ratio",
+            metric="gridmind_chunks_retried_total",
+            denominator="gridmind_chunks_dispatched_total",
+            warn=0.02,
+            crit=0.20,
+            slo=SloSpec(0.98, "98% of dispatched chunks complete without retry"),
+            help="fraction of dispatched chunks retried after worker loss",
+        ),
+        HealthRule(
+            name="request_failure_rate",
+            kind="ratio",
+            metric="gridmind_requests_total",
+            denominator="gridmind_requests_total",
+            match=(("success", "False"),),
+            warn=0.05,
+            crit=0.25,
+            slo=SloSpec(0.95, "95% of agent requests succeed"),
+            help="fraction of agent turns ending in failure",
+        ),
+        HealthRule(
+            name="executor_saturation",
+            kind="saturation",
+            metric="gridmind_executor_in_flight",
+            level=None,
+            warn=30.0,
+            crit=120.0,
+            help="trailing seconds the executor in-flight gauge has pinned at its peak",
+        ),
+    ]

@@ -47,13 +47,24 @@ def _label_key(labels: dict) -> _LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote, and newline are the three characters the
+    format requires escaping — session ids and case names flow into
+    label values, so arbitrary user text must render scrape-safe.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _render_labels(key: _LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
     items = [*key, *extra]
     if not items:
         return ""
     body = ",".join(
-        '{}="{}"'.format(k, v.replace("\\", "\\\\").replace('"', '\\"'))
-        for k, v in items
+        '{}="{}"'.format(k, _escape_label_value(v)) for k, v in items
     )
     return "{" + body + "}"
 

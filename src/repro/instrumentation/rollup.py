@@ -1,0 +1,443 @@
+"""Windowed metric rollups: periodic registry snapshots -> time series.
+
+PR 6's :class:`~repro.instrumentation.metrics.MetricsRegistry` answers
+"how many, ever" — cumulative counters, current gauges, lifetime
+histograms.  Operational questions are *windowed*: "what is the solver
+failure rate right now", "has the executor been saturated for the last
+30 seconds", "what was chunk-wall p95 over the last five minutes".  The
+:class:`MetricsSampler` bridges the two: it snapshots the registry on an
+interval into a bounded ring of timestamped plain-data snapshots and
+derives rate / delta / quantile / saturation views from any trailing
+window of them.
+
+Design points:
+
+* **Snapshots are plain JSON data** (the same flattening discipline as
+  :meth:`MetricsRegistry.state`, plus gauges, which the cross-process
+  transport deliberately excludes but a health view needs).  Label sets
+  are keyed by the JSON encoding of their sorted item list, so every
+  snapshot round-trips through JSONL unchanged.
+* **Everything derived is a pure function of the retained snapshots**:
+  a sampler rebuilt from a persisted snapshot sidecar
+  (:meth:`MetricsSampler.from_snapshots`) answers every windowed query
+  identically to the live one — which is what makes a
+  :class:`~repro.instrumentation.health.HealthReport` reproducible from
+  disk alone.
+* **Bounded**: at most ``max_samples`` snapshots are retained (a
+  :class:`~repro.instrumentation.ringlog.RingLog` window), so a sampler
+  attached to a long-lived service is a fixed-size object however long
+  it runs.
+
+Persistence: pass ``store`` (anything with ``append_health_snapshot``,
+in practice :class:`~repro.service.store.ResultStore`) and every
+:meth:`sample` call appends its snapshot to the store's JSONL health
+sidecar — trends survive restarts, and offline tooling (``gridmind
+health`` / ``gridmind top``) reads the same series the service saw.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from typing import Callable, Iterable
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, get_metrics
+from .ringlog import RingLog
+
+#: Default retained snapshot count.  At the service's default 5 s
+#: sampling interval this is a one-hour window.
+DEFAULT_MAX_SAMPLES = 720
+
+SNAPSHOT_FORMAT = "gridmind-metrics-snapshot-v1"
+
+
+def _label_json(key: tuple[tuple[str, str], ...]) -> str:
+    """Canonical JSON id for one label set (sorted items, round-trips)."""
+    return json.dumps([list(kv) for kv in key], separators=(",", ":"))
+
+
+def _label_dict(label_id: str) -> dict:
+    return dict(json.loads(label_id)) if label_id else {}
+
+
+def _matches(label_id: str, match: dict | None) -> bool:
+    if not match:
+        return True
+    labels = _label_dict(label_id)
+    return all(labels.get(k) == str(v) for k, v in match.items())
+
+
+def snapshot_registry(registry: MetricsRegistry, now: float | None = None) -> dict:
+    """One timestamped plain-data flattening of every instrument.
+
+    Counters and gauges become ``{name: {label_id: value}}``; histograms
+    keep their raw per-bucket counts (``len(buckets) + 1`` entries, +Inf
+    last) and sum per label series, exactly like
+    :meth:`MetricsRegistry.state` ships them across processes.
+    """
+    counters: dict[str, dict] = {}
+    gauges: dict[str, dict] = {}
+    histograms: dict[str, dict] = {}
+    for instrument in registry.instruments():
+        if isinstance(instrument, Histogram):
+            with instrument._lock:
+                histograms[instrument.name] = {
+                    "buckets": list(instrument.buckets),
+                    "series": {
+                        _label_json(key): [list(counts), instrument._sums[key]]
+                        for key, counts in instrument._counts.items()
+                    },
+                }
+        elif isinstance(instrument, Gauge):
+            with instrument._lock:
+                gauges[instrument.name] = {
+                    _label_json(key): value
+                    for key, value in instrument._values.items()
+                }
+        elif isinstance(instrument, Counter):
+            with instrument._lock:
+                counters[instrument.name] = {
+                    _label_json(key): value
+                    for key, value in instrument._values.items()
+                }
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "ts": float(now if now is not None else time.time()),
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+    }
+
+
+class MetricsSampler:
+    """Bounded time-windowed series over periodic registry snapshots.
+
+    ``registry`` may be a :class:`MetricsRegistry` or a zero-arg callable
+    returning one (default: :func:`~repro.instrumentation.metrics
+    .get_metrics`, resolved at *sample* time so registry swaps — tests,
+    ablation baselines — are honoured).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | Callable[[], MetricsRegistry] | None = None,
+        *,
+        interval_s: float = 5.0,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+        store=None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        self._registry = registry if registry is not None else get_metrics
+        self.interval_s = float(interval_s)
+        self.store = store
+        self._ring: RingLog[dict] = RingLog(max_samples)
+
+    # ------------------------------------------------------------------
+    # collection
+    # ------------------------------------------------------------------
+    def _resolve_registry(self) -> MetricsRegistry:
+        registry = self._registry
+        return registry() if callable(registry) else registry
+
+    def sample(self, now: float | None = None) -> dict:
+        """Snapshot the registry now; append to the window and persist."""
+        snap = snapshot_registry(self._resolve_registry(), now)
+        self.ingest(snap, persist=True)
+        return snap
+
+    def ingest(self, snapshot: dict, *, persist: bool = False) -> None:
+        """Append a pre-built snapshot (the restore / replay path)."""
+        self._ring.append(snapshot)
+        if persist and self.store is not None:
+            self.store.append_health_snapshot(snapshot)
+
+    @classmethod
+    def from_snapshots(
+        cls,
+        snapshots: Iterable[dict],
+        *,
+        interval_s: float = 5.0,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+    ) -> "MetricsSampler":
+        """Rebuild a sampler from persisted snapshot dicts (oldest first).
+
+        The reconstructed sampler answers every windowed query exactly as
+        a live sampler holding the same snapshots would — health
+        evaluation from a store sidecar is bit-identical to the
+        service's own.
+        """
+        sampler = cls(interval_s=interval_s, max_samples=max_samples)
+        for snap in snapshots:
+            if snap.get("format") == SNAPSHOT_FORMAT:
+                sampler.ingest(snap)
+        return sampler
+
+    # ------------------------------------------------------------------
+    # window selection
+    # ------------------------------------------------------------------
+    def snapshots(self) -> list[dict]:
+        """Retained snapshots, oldest first."""
+        return list(self._ring)
+
+    @property
+    def n_samples(self) -> int:
+        return len(self._ring)
+
+    @property
+    def latest_ts(self) -> float | None:
+        return self._ring[-1]["ts"] if self._ring else None
+
+    @property
+    def window_span_s(self) -> float:
+        """Seconds covered by the retained window (0 with < 2 samples)."""
+        if len(self._ring) < 2:
+            return 0.0
+        return float(self._ring[-1]["ts"] - self._ring[0]["ts"])
+
+    def _window(self, window_s: float | None) -> tuple[dict, dict] | None:
+        """(baseline, latest) snapshots spanning the trailing window.
+
+        ``window_s=None`` spans the whole retained ring.  Returns
+        ``None`` with fewer than two snapshots — callers surface that as
+        "no data" rather than inventing a zero rate.
+        """
+        if len(self._ring) < 2:
+            return None
+        latest = self._ring[-1]
+        if window_s is None:
+            return self._ring[0], latest
+        cutoff = latest["ts"] - float(window_s)
+        baseline = self._ring[0]
+        for snap in self._ring:
+            if snap["ts"] > cutoff:
+                break
+            baseline = snap
+        if baseline is latest:
+            baseline = self._ring[-2]
+        return baseline, latest
+
+    # ------------------------------------------------------------------
+    # counter views
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _sum_series(block: dict | None, match: dict | None) -> float:
+        if not block:
+            return 0.0
+        return sum(
+            value for label_id, value in block.items() if _matches(label_id, match)
+        )
+
+    def counter_value(self, name: str, match: dict | None = None) -> float:
+        """Latest cumulative value, summed across matching label series."""
+        if not self._ring:
+            return 0.0
+        return self._sum_series(self._ring[-1]["counters"].get(name), match)
+
+    def counter_delta(
+        self, name: str, match: dict | None = None, window_s: float | None = None
+    ) -> tuple[float, float] | None:
+        """(increase, elapsed seconds) over the trailing window.
+
+        ``None`` when fewer than two snapshots exist; a counter absent
+        from the baseline contributes its full latest value (it started
+        mid-window at zero).
+        """
+        pair = self._window(window_s)
+        if pair is None:
+            return None
+        before, after = pair
+        delta = self._sum_series(
+            after["counters"].get(name), match
+        ) - self._sum_series(before["counters"].get(name), match)
+        return max(0.0, delta), max(0.0, after["ts"] - before["ts"])
+
+    def rate(
+        self, name: str, match: dict | None = None, window_s: float | None = None
+    ) -> float | None:
+        """Per-second increase of a counter over the trailing window."""
+        pair = self.counter_delta(name, match, window_s)
+        if pair is None:
+            return None
+        delta, elapsed = pair
+        return delta / elapsed if elapsed > 0 else 0.0
+
+    def label_values(self, name: str, label: str) -> list[str]:
+        """Distinct values of ``label`` across a counter's latest series."""
+        if not self._ring:
+            return []
+        block = self._ring[-1]["counters"].get(name) or {}
+        values = {
+            _label_dict(label_id).get(label)
+            for label_id in block
+        }
+        return sorted(v for v in values if v is not None)
+
+    # ------------------------------------------------------------------
+    # gauge views
+    # ------------------------------------------------------------------
+    def gauge_value(self, name: str, match: dict | None = None) -> float | None:
+        """Latest gauge reading (summed across matching series)."""
+        if not self._ring:
+            return None
+        block = self._ring[-1]["gauges"].get(name)
+        if block is None:
+            return None
+        return self._sum_series(block, match)
+
+    def gauge_series(
+        self, name: str, match: dict | None = None, window_s: float | None = None
+    ) -> list[tuple[float, float]]:
+        """(ts, value) points for a gauge over the trailing window."""
+        if not self._ring:
+            return []
+        cutoff = None
+        if window_s is not None and self.latest_ts is not None:
+            cutoff = self.latest_ts - float(window_s)
+        out = []
+        for snap in self._ring:
+            if cutoff is not None and snap["ts"] < cutoff:
+                continue
+            block = snap["gauges"].get(name)
+            if block is None:
+                continue
+            out.append((snap["ts"], self._sum_series(block, match)))
+        return out
+
+    def gauge_peak(
+        self, name: str, match: dict | None = None, window_s: float | None = None
+    ) -> float | None:
+        series = self.gauge_series(name, match, window_s)
+        return max((v for _ts, v in series), default=None)
+
+    def saturated_seconds(
+        self,
+        name: str,
+        level: float | None = None,
+        match: dict | None = None,
+        window_s: float | None = None,
+    ) -> float:
+        """Trailing seconds a gauge has continuously sat at/above ``level``.
+
+        ``level=None`` saturates at the gauge's peak over the window (for
+        capacity gauges whose ceiling isn't statically known, e.g. the
+        executor's in-flight window).  Zero-valued peaks never count as
+        saturated: an idle gauge is not a stuck one.
+        """
+        series = self.gauge_series(name, match, window_s)
+        if len(series) < 2:
+            return 0.0
+        if level is None:
+            level = max(v for _ts, v in series)
+        if level <= 0:
+            return 0.0
+        run_start = None
+        for ts, value in series:
+            if value >= level:
+                if run_start is None:
+                    run_start = ts
+            else:
+                run_start = None
+        if run_start is None:
+            return 0.0
+        return float(series[-1][0] - run_start)
+
+    # ------------------------------------------------------------------
+    # histogram views
+    # ------------------------------------------------------------------
+    def histogram_delta(
+        self, name: str, match: dict | None = None, window_s: float | None = None
+    ) -> tuple[list[float], list[float], float] | None:
+        """(bucket bounds, per-bucket count increases, sum increase).
+
+        Counts are per-bucket (not cumulative) with the +Inf overflow
+        last, matching the registry's internal layout.  ``None`` when the
+        window has fewer than two snapshots or the histogram is absent.
+        """
+        pair = self._window(window_s)
+        if pair is None:
+            return None
+        before, after = pair
+        block_after = after["histograms"].get(name)
+        if not block_after:
+            return None
+        block_before = before["histograms"].get(name) or {"series": {}}
+        buckets = [float(b) for b in block_after["buckets"]]
+        counts = [0.0] * (len(buckets) + 1)
+        total_sum = 0.0
+        base_series = block_before.get("series", {})
+        for label_id, (after_counts, after_sum) in block_after["series"].items():
+            if not _matches(label_id, match):
+                continue
+            base_counts, base_sum = base_series.get(
+                label_id, ([0] * len(after_counts), 0.0)
+            )
+            for i, n in enumerate(after_counts):
+                counts[i] += n - base_counts[i]
+            total_sum += after_sum - base_sum
+        return buckets, counts, total_sum
+
+    def window_quantile(
+        self,
+        name: str,
+        q: float,
+        match: dict | None = None,
+        window_s: float | None = None,
+    ) -> float | None:
+        """Estimated ``q``-quantile of a histogram's window observations.
+
+        Linear interpolation within the target bucket (the standard
+        ``histogram_quantile`` estimator); observations landing in the
+        +Inf overflow clamp to the largest finite bound.  ``None`` when
+        no observations fell inside the window.
+        """
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        delta = self.histogram_delta(name, match, window_s)
+        if delta is None:
+            return None
+        buckets, counts, _total = delta
+        n = sum(counts)
+        if n <= 0:
+            return None
+        target = q * n
+        cumulative = 0.0
+        for i, count in enumerate(counts[:-1]):
+            prev = cumulative
+            cumulative += count
+            if cumulative >= target and count > 0:
+                lo = buckets[i - 1] if i > 0 else 0.0
+                hi = buckets[i]
+                frac = (target - prev) / count
+                return lo + (hi - lo) * frac
+        return buckets[-1]
+
+    def window_fraction_over(
+        self,
+        name: str,
+        bound: float,
+        match: dict | None = None,
+        window_s: float | None = None,
+    ) -> float | None:
+        """Fraction of window observations above ``bound`` (bucket-resolved).
+
+        ``bound`` is resolved to the smallest bucket upper edge >= bound,
+        so the answer is exact at bucket boundaries and conservative
+        (never under-reports) between them.
+        """
+        delta = self.histogram_delta(name, match, window_s)
+        if delta is None:
+            return None
+        buckets, counts, _total = delta
+        n = sum(counts)
+        if n <= 0:
+            return None
+        over = 0.0
+        for i, count in enumerate(counts):
+            edge = buckets[i] if i < len(buckets) else math.inf
+            if edge > bound:
+                over += count
+        return over / n

@@ -16,6 +16,7 @@ from scipy.sparse import linalg as sla
 
 from ..grid.components import BusType
 from ..grid.network import Network, NetworkArrays
+from ..instrumentation.probes import instrument_solver
 from .newton import bus_power_injections
 from .solution import PowerFlowResult, finalize_solution, make_admittances
 
@@ -53,6 +54,7 @@ def _series_susceptance_matrices(
     return bp.tocsr(), bpp.tocsr()
 
 
+@instrument_solver("fast_decoupled")
 def solve_fast_decoupled(
     net: Network,
     *,

@@ -12,10 +12,12 @@ import time
 import numpy as np
 
 from ..grid.network import Network
+from ..instrumentation.probes import instrument_solver
 from .newton import bus_power_injections
 from .solution import PowerFlowResult, finalize_solution, make_admittances
 
 
+@instrument_solver("gauss_seidel")
 def solve_gauss_seidel(
     net: Network,
     *,

@@ -43,6 +43,7 @@ from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
+from ..instrumentation.accounting import record_chunk, record_study
 from ..instrumentation.metrics import (
     MetricsRegistry,
     get_metrics,
@@ -866,6 +867,14 @@ class BatchStudyRunner:
                     n_chunks += 1
                     tracer.adopt(outcome.spans)
                     metrics.merge_state(outcome.metrics)
+                    # Worker-side chunk wall: the latency signal the
+                    # chunk_wall_p95 health rule watches, and the
+                    # executor occupancy billed to the session.
+                    metrics.histogram(
+                        "gridmind_chunk_wall_seconds",
+                        "Worker-side study chunk wall time",
+                    ).observe(outcome.wall_s)
+                    record_chunk(len(chunk_results), outcome.wall_s)
                     with tracer.span("study.reduce", n_results=len(chunk_results)):
                         reducer.add_many(chunk_results)
                         for r in chunk_results:
@@ -902,6 +911,7 @@ class BatchStudyRunner:
         metrics.counter(
             "gridmind_studies_total", "Batch studies by analysis"
         ).inc(analysis=self.analysis)
+        record_study()
         metrics.histogram(
             "gridmind_study_seconds", "End-to-end study wall time"
         ).observe(time.perf_counter() - start)

@@ -64,6 +64,21 @@ class AskReply(BaseModel):
     n_tool_calls: int = 0
 
 
+class SessionUsage(BaseModel):
+    """Cumulative resources a session has consumed (accounting counters).
+
+    Mirrors :func:`repro.instrumentation.accounting.session_usage`:
+    counts come from session-labelled registry counters, so the same
+    numbers flow through Prometheus exposition and health snapshots.
+    """
+
+    turns: float = 0.0
+    studies: float = 0.0
+    chunks: float = 0.0
+    scenarios: float = 0.0
+    executor_seconds: float = 0.0
+
+
 class SessionInfo(BaseModel):
     """Directory entry for one managed session."""
 
@@ -72,6 +87,7 @@ class SessionInfo(BaseModel):
     seed: int
     n_turns: int = 0
     case_name: str | None = None
+    usage: SessionUsage | None = None
 
 
 class StudyRequest(BaseModel):
@@ -84,6 +100,11 @@ class StudyRequest(BaseModel):
 
     case_name: str = Field(description="IEEE case identifier, e.g. 'ieee118'")
     kind: str = Field(default="monte_carlo", description=f"one of {STUDY_KINDS}")
+    session_id: str | None = Field(
+        default=None,
+        description="session to bill this study's resource usage to "
+        "(None = the unattributed '_direct' bucket)",
+    )
     analysis: str = Field(default="powerflow")
     n_scenarios: int | None = Field(
         default=None,

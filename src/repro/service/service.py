@@ -27,13 +27,17 @@ import asyncio
 from dataclasses import dataclass, field
 
 from ..core.session import GridMindSession
+from ..instrumentation.accounting import record_turn, session_scope, session_usage
+from ..instrumentation.health import HealthMonitor, HealthReport, HealthRule
 from ..instrumentation.metrics import get_metrics, render_prometheus
+from ..instrumentation.rollup import MetricsSampler
 from ..instrumentation.trace import Tracer, get_tracer, set_tracer
 from .api import (
     STUDY_KINDS,
     AskReply,
     AskRequest,
     SessionInfo,
+    SessionUsage,
     StudyReply,
     StudyRequest,
     derive_session_seed,
@@ -67,6 +71,7 @@ class _SessionSlot:
             seed=self.session.seed,
             n_turns=self.turns,
             case_name=self.session.context.case_name or None,
+            usage=SessionUsage(**session_usage(self.session_id)),
         )
 
 
@@ -84,6 +89,9 @@ class GridMindService:
         max_sessions: int = 128,
         trace: bool = False,
         retries: int = 0,
+        health: bool = True,
+        health_rules: list[HealthRule] | None = None,
+        sample_interval_s: float = 5.0,
     ) -> None:
         if store is None and store_dir is not None:
             store = ResultStore(store_dir)
@@ -106,6 +114,18 @@ class GridMindService:
         self.max_sessions = max_sessions
         self._slots: dict[str, _SessionSlot] = {}
         self._closed = False
+        # Health layer: a rollup sampler feeding an SLO monitor.  The
+        # sampler persists every snapshot to the store's health sidecar
+        # (when a store is attached), so ``gridmind health``/``top`` can
+        # evaluate the same series offline.  The background sampling task
+        # starts lazily on the first async entry point — ``__init__`` is
+        # sync and may run with no event loop at all.
+        self._health_enabled = health
+        self.sampler = MetricsSampler(interval_s=sample_interval_s, store=store)
+        self.monitor = HealthMonitor(
+            rules=tuple(health_rules) if health_rules is not None else ()
+        )
+        self._sampler_task: asyncio.Task | None = None
 
     # ------------------------------------------------------------------
     # session management
@@ -176,9 +196,15 @@ class GridMindService:
         # on a thread so *other* sessions' turns proceed concurrently.
         # (asyncio.to_thread copies the contextvar context, so the span
         # opened here is the parent of everything the session records.)
+        self._ensure_sampler_task()
         async with slot.lock:
             with get_tracer().span("service.ask", session_id=request.session_id):
-                reply = await asyncio.to_thread(slot.session.ask, request.text)
+                # The accounting scope travels with the copied contextvar
+                # context into the worker thread, so every chunk the
+                # study layer folds during this turn bills to the session.
+                with session_scope(request.session_id):
+                    record_turn()
+                    reply = await asyncio.to_thread(slot.session.ask, request.text)
             slot.turns += 1
             turn = slot.turns
             record = slot.session.last_record
@@ -212,9 +238,16 @@ class GridMindService:
         transports without a callback channel still see the timeline.
         """
         self._check_open()
+        self._ensure_sampler_task()
         return await asyncio.to_thread(self._run_study_sync, request, progress)
 
     def _run_study_sync(
+        self, request: StudyRequest, progress=None
+    ) -> StudyReply:
+        with session_scope(request.session_id):
+            return self._run_study_inner(request, progress)
+
+    def _run_study_inner(
         self, request: StudyRequest, progress=None
     ) -> StudyReply:
         from ..grid.cases import load_case
@@ -330,6 +363,52 @@ class GridMindService:
         """The process-wide metrics registry in Prometheus text exposition."""
         return render_prometheus(get_metrics())
 
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    def _ensure_sampler_task(self) -> None:
+        """Start the background sampling loop once, lazily.
+
+        ``__init__`` is synchronous (and often runs without a loop), so
+        the task is created the first time an async entry point executes
+        inside a running loop.  No-op when health is disabled or the
+        task is already alive.
+        """
+        if not self._health_enabled or self._closed:
+            return
+        if self._sampler_task is not None and not self._sampler_task.done():
+            return
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            return
+        self._sampler_task = loop.create_task(
+            self._sample_loop(), name="gridmind-health-sampler"
+        )
+
+    async def _sample_loop(self) -> None:
+        while not self._closed:
+            await asyncio.sleep(self.sampler.interval_s)
+            try:
+                self.sampler.sample()
+                self.monitor.evaluate(self.sampler)
+            except Exception:
+                # The health loop must never take the service down; a
+                # failed sample simply leaves a gap in the series.
+                continue
+
+    def health(self, *, sample: bool = True) -> HealthReport:
+        """Evaluate the service's health rules right now.
+
+        Takes a fresh snapshot first (so the report reflects this
+        instant, not the last background tick) unless ``sample=False``,
+        then evaluates through the monitor so alert transitions are
+        recorded.  Works with or without the background task running.
+        """
+        if sample and self._health_enabled:
+            self.sampler.sample()
+        return self.monitor.evaluate(self.sampler)
+
     def _check_open(self) -> None:
         if self._closed:
             raise ServiceClosed("GridMindService is closed")
@@ -339,12 +418,28 @@ class GridMindService:
         if self._closed:
             return
         self._closed = True
+        if self._sampler_task is not None:
+            self._sampler_task.cancel()
+            try:
+                await self._sampler_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._sampler_task = None
+        if self._health_enabled:
+            # Final snapshot so the persisted series covers the full
+            # service lifetime (a short-lived service still leaves >= 1
+            # sample per entry point that ran).
+            try:
+                self.sampler.sample()
+            except Exception:
+                pass
         if self._prev_tracer is not None:
             set_tracer(self._prev_tracer)
             self._prev_tracer = None
         await asyncio.to_thread(self.executor.shutdown)
 
     async def __aenter__(self) -> "GridMindService":
+        self._ensure_sampler_task()
         return self
 
     async def __aexit__(self, *exc_info) -> None:

@@ -297,6 +297,67 @@ class ResultStore:
             if line.strip()
         ]
 
+    # ------------------------------------------------------------------
+    # health snapshot sidecar
+    # ------------------------------------------------------------------
+    #: Max JSONL lines retained in the health sidecar before rotation
+    #: (at the service's 5 s sampling default: ~5.7 h of trend).
+    HEALTH_SNAPSHOT_CAP = 4096
+
+    def _health_path(self) -> Path:
+        # Store-wide (not per-study): the health trend describes the
+        # *service* over this store, so one ``health-snapshots.jsonl``
+        # file — its name can never collide with a content-hash key.
+        return self.root / "health-snapshots.jsonl"
+
+    def append_health_snapshot(self, snapshot: dict) -> Path:
+        """Append one metrics snapshot to the store's health sidecar.
+
+        The sidecar is the persistence half of
+        :class:`~repro.instrumentation.rollup.MetricsSampler`: trends
+        survive restarts, and ``gridmind health`` / ``gridmind top``
+        evaluate from it without embedding the service.  When the file
+        exceeds :attr:`HEALTH_SNAPSHOT_CAP` lines it is rotated in place
+        to its newest half (atomically, so concurrent readers always see
+        a complete file).
+        """
+        path = self._health_path()
+        line = json.dumps(snapshot, default=str)
+        with open(path, "a") as fh:
+            fh.write(line + "\n")
+        try:
+            with open(path) as fh:
+                lines = fh.read().splitlines()
+        except OSError:
+            return path
+        if len(lines) > self.HEALTH_SNAPSHOT_CAP:
+            keep = lines[-(self.HEALTH_SNAPSHOT_CAP // 2):]
+            self._write_atomic(path, "\n".join(keep) + "\n")
+        return path
+
+    def load_health_snapshots(self, limit: int | None = None) -> list[dict]:
+        """Parsed snapshot dicts from the health sidecar, oldest first.
+
+        ``limit`` keeps only the newest N.  Unparseable lines (a crash
+        mid-append on a non-atomic write) are skipped, not fatal — the
+        sidecar is an operational trail, not a ledger.
+        """
+        path = self._health_path()
+        if not path.exists():
+            return []
+        snaps: list[dict] = []
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                snaps.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+        if limit is not None:
+            snaps = snaps[-limit:]
+        return snaps
+
     @staticmethod
     def _index_doc(
         key: str, aggregate: dict, worst: list[ScenarioResult], digest: str

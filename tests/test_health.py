@@ -1,0 +1,651 @@
+"""Operational health layer: rollups, rules, alerts, accounting, CLI.
+
+Covers the stack bottom-up: the :class:`MetricsSampler` windowed views
+(counter deltas/rates, gauge saturation, histogram quantiles), snapshot
+persistence through the :class:`ResultStore` sidecar (including the
+rotation cap and the load→re-evaluate reproducibility contract), the
+declarative :class:`HealthRule`/:class:`SloSpec` engine with its
+edge-triggered :class:`HealthMonitor` alert ring, per-session resource
+accounting end to end through a pooled service study, and the
+``gridmind health`` / ``gridmind top`` CLI exit-code contracts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.cli import main as cli_main
+from repro.instrumentation.accounting import (
+    known_sessions,
+    record_chunk,
+    record_turn,
+    session_scope,
+    session_usage,
+)
+from repro.instrumentation.health import (
+    CRIT,
+    OK,
+    WARN,
+    HealthMonitor,
+    HealthReport,
+    HealthRule,
+    SloSpec,
+    builtin_rules,
+    evaluate_health,
+    worst_status,
+)
+from repro.instrumentation.metrics import MetricsRegistry, set_metrics
+from repro.instrumentation.rollup import MetricsSampler, snapshot_registry
+from repro.service import GridMindService
+from repro.service.api import StudyRequest
+from repro.service.store import ResultStore
+
+
+@pytest.fixture
+def fresh_metrics():
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    yield registry
+    set_metrics(previous)
+
+
+def _sampler_with(registry: MetricsRegistry, *ticks) -> MetricsSampler:
+    """Build a sampler from (timestamp, mutator) steps on ``registry``."""
+    sampler = MetricsSampler(registry, interval_s=1.0)
+    for ts, mutate in ticks:
+        if mutate is not None:
+            mutate(registry)
+        sampler.sample(ts)
+    return sampler
+
+
+# ----------------------------------------------------------------------
+# MetricsSampler: windowed views over snapshots
+# ----------------------------------------------------------------------
+
+
+class TestSampler:
+    def test_counter_delta_and_rate_over_window(self):
+        reg = MetricsRegistry()
+        s = _sampler_with(
+            reg,
+            (100.0, lambda r: r.counter("c_total", "C").inc(10)),
+            (110.0, lambda r: r.counter("c_total").inc(5)),
+            (120.0, lambda r: r.counter("c_total").inc(5)),
+        )
+        assert s.counter_value("c_total") == 20.0
+        delta, elapsed = s.counter_delta("c_total")
+        assert (delta, elapsed) == (10.0, 20.0)
+        assert s.rate("c_total") == pytest.approx(0.5)
+        # A narrower window uses the newest baseline at/before the cutoff.
+        delta, elapsed = s.counter_delta("c_total", window_s=10.0)
+        assert (delta, elapsed) == (5.0, 10.0)
+
+    def test_single_snapshot_has_no_windowed_answers(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "C").inc()
+        s = MetricsSampler(reg)
+        s.sample(100.0)
+        assert s.counter_delta("c_total") is None
+        assert s.rate("c_total") is None
+        assert s.window_span_s == 0.0
+        assert s.counter_value("c_total") == 1.0  # latest value still works
+
+    def test_label_match_filters_series(self):
+        reg = MetricsRegistry()
+        s = _sampler_with(
+            reg,
+            (0.0, None),
+            (
+                10.0,
+                lambda r: (
+                    r.counter("c_total", "C").inc(3, kind="a"),
+                    r.counter("c_total").inc(7, kind="b"),
+                ),
+            ),
+        )
+        assert s.counter_delta("c_total", {"kind": "a"})[0] == 3.0
+        assert s.counter_delta("c_total", {"kind": "b"})[0] == 7.0
+        assert s.counter_delta("c_total")[0] == 10.0
+        assert s.label_values("c_total", "kind") == ["a", "b"]
+
+    def test_gauge_series_and_saturation(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g", "G")
+        sampler = MetricsSampler(reg, interval_s=1.0)
+        for ts, v in ((0.0, 2.0), (10.0, 4.0), (20.0, 4.0), (30.0, 4.0)):
+            g.set(v)
+            sampler.sample(ts)
+        assert sampler.gauge_value("g") == 4.0
+        assert sampler.gauge_peak("g") == 4.0
+        # Pinned at its peak since t=10 -> 20 trailing seconds.
+        assert sampler.saturated_seconds("g") == 20.0
+        assert sampler.saturated_seconds("g", level=5.0) == 0.0
+        # A dip resets the run.
+        g.set(1.0)
+        sampler.sample(40.0)
+        g.set(4.0)
+        sampler.sample(50.0)
+        assert sampler.saturated_seconds("g") == 0.0
+
+    def test_idle_gauge_never_saturates(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g", "G")
+        sampler = MetricsSampler(reg)
+        for ts in (0.0, 10.0, 20.0):
+            g.set(0.0)
+            sampler.sample(ts)
+        assert sampler.saturated_seconds("g") == 0.0
+
+    def test_histogram_window_quantile_interpolates(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", "H", buckets=(1.0, 2.0, 4.0))
+        sampler = MetricsSampler(reg)
+        sampler.sample(0.0)
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        sampler.sample(10.0)
+        p50 = sampler.window_quantile("h", 0.5)
+        assert 1.0 <= p50 <= 2.0
+        # +Inf overflow clamps to the largest finite bound.
+        h.observe(100.0)
+        sampler.sample(20.0)
+        assert sampler.window_quantile("h", 0.99) == 4.0
+        assert sampler.window_quantile("h", 0.99, window_s=5.0) == 4.0
+
+    def test_window_excludes_pre_window_observations(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", "H", buckets=(1.0, 10.0))
+        sampler = MetricsSampler(reg)
+        h.observe(100.0)  # slow observation, long ago
+        sampler.sample(0.0)
+        sampler.sample(100.0)
+        h.observe(0.5)
+        sampler.sample(110.0)
+        # The recent window only saw the fast observation.
+        assert sampler.window_quantile("h", 0.95, window_s=30.0) == pytest.approx(
+            0.95, abs=0.1
+        )
+        assert sampler.window_fraction_over("h", 10.0, window_s=30.0) == 0.0
+
+    def test_ring_is_bounded(self):
+        reg = MetricsRegistry()
+        sampler = MetricsSampler(reg, max_samples=4)
+        for i in range(10):
+            sampler.sample(float(i))
+        assert sampler.n_samples == 4
+        assert sampler.snapshots()[0]["ts"] == 6.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MetricsSampler(interval_s=0.0)
+        with pytest.raises(ValueError):
+            MetricsSampler(max_samples=1)
+        with pytest.raises(ValueError):
+            MetricsSampler().window_quantile("h", 1.5)
+
+    def test_snapshot_includes_gauges_unlike_state(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", "G").set(3.0)
+        assert "g" not in reg.state().get("counters", {})
+        snap = snapshot_registry(reg, 0.0)
+        assert list(snap["gauges"]["g"].values()) == [3.0]
+
+    def test_from_snapshots_round_trips_through_json(self):
+        reg = MetricsRegistry()
+        s = _sampler_with(
+            reg,
+            (0.0, lambda r: r.counter("c_total", "C").inc(2, kind="a")),
+            (
+                10.0,
+                lambda r: (
+                    r.counter("c_total").inc(3, kind="a"),
+                    r.gauge("g", "G").set(7.0),
+                    r.histogram("h", "H", buckets=(1.0,)).observe(0.5),
+                ),
+            ),
+        )
+        wire = [json.loads(json.dumps(snap)) for snap in s.snapshots()]
+        restored = MetricsSampler.from_snapshots(wire)
+        assert restored.n_samples == 2
+        assert restored.counter_delta("c_total") == s.counter_delta("c_total")
+        assert restored.gauge_value("g") == 7.0
+        assert restored.window_quantile("h", 0.5) == s.window_quantile("h", 0.5)
+
+
+# ----------------------------------------------------------------------
+# health rules and reports
+# ----------------------------------------------------------------------
+
+
+def _ratio_setup(n_bad: int, n_total: int) -> MetricsSampler:
+    reg = MetricsRegistry()
+    sampler = MetricsSampler(reg)
+    sampler.sample(0.0)
+    reg.counter("bad_total", "B").inc(n_bad)
+    reg.counter("all_total", "A").inc(n_total)
+    sampler.sample(60.0)
+    return sampler
+
+
+def _ratio_rule(**overrides) -> HealthRule:
+    kwargs = dict(
+        name="bad_rate",
+        kind="ratio",
+        metric="bad_total",
+        denominator="all_total",
+        warn=0.1,
+        crit=0.5,
+        slo=SloSpec(0.9),
+    )
+    kwargs.update(overrides)
+    return HealthRule(**kwargs)
+
+
+class TestHealthRules:
+    def test_ratio_rule_classifies_and_burns(self):
+        rule = _ratio_rule()
+        report = evaluate_health(_ratio_setup(3, 10), [rule])
+        (result,) = report.rules
+        assert result.status == WARN
+        assert result.value == pytest.approx(0.3)
+        # 30% bad against a 10% error budget: burning at 3x.
+        assert result.burn_rate == pytest.approx(3.0)
+        assert report.status == WARN
+
+    def test_crit_threshold_dominates(self):
+        report = evaluate_health(_ratio_setup(6, 10), [_ratio_rule()])
+        assert report.status == CRIT
+
+    def test_zero_denominator_is_ok_not_division(self):
+        report = evaluate_health(_ratio_setup(0, 0), [_ratio_rule()])
+        (result,) = report.rules
+        assert result.status == OK
+        assert result.value is None
+        assert "no events" in result.detail
+
+    def test_direction_below_for_throughput_floors(self):
+        reg = MetricsRegistry()
+        sampler = MetricsSampler(reg)
+        sampler.sample(0.0)
+        reg.counter("done_total", "D").inc(1)
+        sampler.sample(100.0)  # 0.01/s: a trickle
+        rule = HealthRule(
+            name="throughput",
+            kind="rate",
+            metric="done_total",
+            warn=0.5,
+            crit=0.001,
+            direction="below",
+        )
+        report = evaluate_health(sampler, [rule])
+        assert report.rules[0].status == WARN
+
+    def test_insufficient_data_reports_ok(self):
+        reg = MetricsRegistry()
+        sampler = MetricsSampler(reg)
+        sampler.sample(0.0)
+        report = evaluate_health(sampler, builtin_rules())
+        assert report.status == OK
+        assert {r.status for r in report.rules} == {OK}
+
+    def test_builtin_rules_cover_every_kind_once(self):
+        rules = builtin_rules()
+        names = {r.name for r in rules}
+        assert {
+            "chunk_wall_p95",
+            "solver_failure_rate",
+            "scenario_error_rate",
+            "chunk_retry_rate",
+            "request_failure_rate",
+            "executor_saturation",
+        } <= names
+        kinds = {r.kind for r in rules}
+        assert {"quantile", "ratio", "saturation"} <= kinds
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            HealthRule(name="x", kind="nope", metric="m")
+        with pytest.raises(ValueError):
+            HealthRule(name="x", kind="ratio", metric="m")  # no denominator
+        with pytest.raises(ValueError):
+            HealthRule(name="x", kind="value", metric="m", direction="sideways")
+        with pytest.raises(ValueError):
+            SloSpec(1.5)
+
+    def test_worst_status_ordering(self):
+        assert worst_status([]) == OK
+        assert worst_status([OK, WARN]) == WARN
+        assert worst_status([WARN, CRIT, OK]) == CRIT
+
+    def test_report_to_dict_round_trips(self):
+        report = evaluate_health(_ratio_setup(3, 10), [_ratio_rule()])
+        doc = report.to_dict()
+        assert doc["status"] == WARN
+        assert doc["rules"][0]["name"] == "bad_rate"
+        json.dumps(doc)  # JSON-serialisable as-is
+
+
+class TestHealthMonitor:
+    def test_alerts_fire_and_resolve_on_edges(self):
+        rule = _ratio_rule()
+        monitor = HealthMonitor(rules=(rule,))
+        # ok -> crit -> crit (no new alert) -> ok
+        monitor.observe(evaluate_health(_ratio_setup(0, 10), [rule]))
+        monitor.observe(evaluate_health(_ratio_setup(9, 10), [rule]))
+        monitor.observe(evaluate_health(_ratio_setup(9, 10), [rule]))
+        monitor.observe(evaluate_health(_ratio_setup(0, 10), [rule]))
+        alerts = monitor.alerts()
+        assert [(a.transition, a.status) for a in alerts] == [
+            ("firing", CRIT),
+            ("resolved", OK),
+        ]
+        assert [a.seq for a in alerts] == [0, 1]
+
+    def test_escalation_warn_to_crit_fires_again(self):
+        rule = _ratio_rule()
+        monitor = HealthMonitor(rules=(rule,))
+        monitor.observe(evaluate_health(_ratio_setup(2, 10), [rule]))  # warn
+        monitor.observe(evaluate_health(_ratio_setup(9, 10), [rule]))  # crit
+        transitions = [(a.previous, a.status) for a in monitor.alerts()]
+        assert transitions == [(OK, WARN), (WARN, CRIT)]
+
+    def test_alert_ring_is_bounded_with_stable_seqs(self):
+        rule = _ratio_rule()
+        monitor = HealthMonitor(rules=(rule,), max_alerts=3)
+        for i in range(4):
+            monitor.observe(evaluate_health(_ratio_setup(9, 10), [rule]))
+            monitor.observe(evaluate_health(_ratio_setup(0, 10), [rule]))
+        alerts = monitor.alerts()
+        assert len(alerts) == 3
+        assert alerts[-1].seq == 7  # 8 transitions ever, newest retained
+
+    def test_evaluate_records_transitions(self):
+        rule = _ratio_rule()
+        monitor = HealthMonitor(rules=(rule,))
+        report = monitor.evaluate(_ratio_setup(9, 10))
+        assert isinstance(report, HealthReport)
+        assert len(monitor.alerts()) == 1
+
+    def test_replay_reconstructs_alert_history(self):
+        reg = MetricsRegistry()
+        sampler = MetricsSampler(reg)
+        sampler.sample(0.0)
+        reg.counter("bad_total", "B").inc(9)
+        reg.counter("all_total", "A").inc(10)
+        sampler.sample(60.0)
+        monitor = HealthMonitor.replay(sampler, [_ratio_rule()])
+        assert [a.transition for a in monitor.alerts()] == ["firing"]
+
+
+# ----------------------------------------------------------------------
+# store persistence: the snapshot sidecar
+# ----------------------------------------------------------------------
+
+
+class TestSnapshotSidecar:
+    def test_append_and_load_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        reg = MetricsRegistry()
+        sampler = MetricsSampler(reg, store=store)
+        reg.counter("c_total", "C").inc(3)
+        sampler.sample(10.0)
+        sampler.sample(20.0)
+        snaps = store.load_health_snapshots()
+        assert [s["ts"] for s in snaps] == [10.0, 20.0]
+        assert (tmp_path / "health-snapshots.jsonl").exists()
+        # The sidecar never collides with study listings.
+        assert store.list_studies() == []
+
+    def test_rotation_keeps_newest_half(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(ResultStore, "HEALTH_SNAPSHOT_CAP", 10)
+        store = ResultStore(tmp_path)
+        reg = MetricsRegistry()
+        sampler = MetricsSampler(reg, store=store)
+        for i in range(25):
+            sampler.sample(float(i))
+        snaps = store.load_health_snapshots()
+        assert len(snaps) <= 10
+        assert snaps[-1]["ts"] == 24.0  # newest survive rotation
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append_health_snapshot({"format": "gridmind-metrics-snapshot-v1",
+                                      "ts": 1.0, "counters": {}, "gauges": {},
+                                      "histograms": {}})
+        with open(tmp_path / "health-snapshots.jsonl", "a") as fh:
+            fh.write("{truncated\n")
+        store.append_health_snapshot({"format": "gridmind-metrics-snapshot-v1",
+                                      "ts": 2.0, "counters": {}, "gauges": {},
+                                      "histograms": {}})
+        assert [s["ts"] for s in store.load_health_snapshots()] == [1.0, 2.0]
+
+    def test_load_limit_keeps_newest(self, tmp_path):
+        store = ResultStore(tmp_path)
+        reg = MetricsRegistry()
+        sampler = MetricsSampler(reg, store=store)
+        for i in range(5):
+            sampler.sample(float(i))
+        assert [s["ts"] for s in store.load_health_snapshots(limit=2)] == [3.0, 4.0]
+
+
+# ----------------------------------------------------------------------
+# per-session accounting
+# ----------------------------------------------------------------------
+
+
+class TestAccounting:
+    def test_scope_binds_and_restores(self, fresh_metrics):
+        with session_scope("alice"):
+            record_turn()
+            with session_scope(None):  # None -> unattributed bucket
+                record_turn()
+            record_chunk(10, 0.5)
+        record_turn()  # outside any scope
+        assert session_usage("alice") == {
+            "turns": 1.0,
+            "studies": 0.0,
+            "chunks": 1.0,
+            "scenarios": 10.0,
+            "executor_seconds": 0.5,
+        }
+        assert session_usage("_direct")["turns"] == 2.0
+        assert known_sessions() == ["_direct", "alice"]
+
+    def test_unknown_session_is_zero_filled(self, fresh_metrics):
+        usage = session_usage("nobody")
+        assert set(usage) == {
+            "turns", "studies", "chunks", "scenarios", "executor_seconds"
+        }
+        assert all(v == 0.0 for v in usage.values())
+
+
+# ----------------------------------------------------------------------
+# service end-to-end: sampler task, health(), sidecar reproducibility
+# ----------------------------------------------------------------------
+
+
+class TestServiceHealth:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_pooled_study_report_reproducible_from_sidecar(
+        self, tmp_path, fresh_metrics
+    ):
+        async def scenario():
+            service = GridMindService(
+                max_workers=2, store_dir=str(tmp_path), sample_interval_s=0.05
+            )
+            async with service:
+                await service.run_study(
+                    StudyRequest(
+                        case_name="ieee14",
+                        kind="monte_carlo",
+                        n_scenarios=24,
+                        session_id="alice",
+                    )
+                )
+                # Let the background sampler tick at least once on top of
+                # the explicit health() snapshot below.
+                await asyncio.sleep(0.15)
+                return service.health()
+
+        live = self._run(scenario())
+        assert live.status in (OK, WARN, CRIT)
+        assert live.n_samples >= 2
+
+        # Acceptance contract: the persisted sidecar alone reproduces the
+        # live report's per-rule statuses (load -> re-evaluate -> same).
+        store = ResultStore(tmp_path)
+        snaps = store.load_health_snapshots()
+        assert len(snaps) >= 2
+        offline = MetricsSampler.from_snapshots(
+            snaps, max_samples=max(2, len(snaps))
+        )
+        replayed = evaluate_health(offline)
+        assert replayed.rule_statuses() == live.rule_statuses()
+        # Chunk-wall observations made it into the windowed series.
+        assert offline.counter_value("gridmind_session_scenarios_total",
+                                     {"session": "alice"}) == 24.0
+
+    def test_background_sampler_starts_and_stops(self, tmp_path, fresh_metrics):
+        async def scenario():
+            service = GridMindService(
+                max_workers=1, store_dir=str(tmp_path), sample_interval_s=0.02
+            )
+            async with service:
+                assert service._sampler_task is not None
+                await asyncio.sleep(0.1)
+                n_live = service.sampler.n_samples
+                assert n_live >= 2
+            assert service._sampler_task is None
+            return service
+
+        self._run(scenario())
+
+    def test_health_disabled_service_takes_no_samples(self, tmp_path, fresh_metrics):
+        async def scenario():
+            service = GridMindService(
+                max_workers=1, store_dir=str(tmp_path), health=False
+            )
+            async with service:
+                assert service._sampler_task is None
+            assert service.sampler.n_samples == 0
+
+        self._run(scenario())
+        assert ResultStore(tmp_path).load_health_snapshots() == []
+
+    def test_session_info_carries_usage(self, fresh_metrics):
+        async def scenario():
+            service = GridMindService(max_workers=1, health=False)
+            async with service:
+                await service.ask("alice", "Solve the IEEE 14 bus case")
+                (info,) = service.sessions()
+                return info
+
+        info = self._run(scenario())
+        assert info.session_id == "alice"
+        assert info.usage is not None
+        assert info.usage.turns == 1.0
+
+    def test_custom_rules_flow_into_monitor(self, fresh_metrics):
+        rule = HealthRule(name="only", kind="value", metric="g", warn=1.0)
+
+        async def scenario():
+            service = GridMindService(max_workers=1, health_rules=[rule])
+            async with service:
+                report = service.health()
+                return report
+
+        report = self._run(scenario())
+        assert [r.name for r in report.rules] == ["only"]
+
+
+# ----------------------------------------------------------------------
+# CLI: gridmind health / gridmind top
+# ----------------------------------------------------------------------
+
+
+def _write_snapshots(tmp_path, n_bad: int, n_total: int) -> None:
+    """Persist a two-snapshot series with a chosen solver failure ratio."""
+    store = ResultStore(tmp_path)
+    reg = MetricsRegistry()
+    sampler = MetricsSampler(reg, store=store)
+    sampler.sample(0.0)
+    reg.counter("gridmind_solver_invocations_total", "I").inc(n_total)
+    reg.counter("gridmind_solver_failures_total", "F").inc(n_bad)
+    sampler.sample(60.0)
+
+
+class TestHealthCLI:
+    def test_exit_zero_when_healthy(self, tmp_path, capsys):
+        _write_snapshots(tmp_path, n_bad=0, n_total=100)
+        assert cli_main(["health", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "health: OK" in out
+        assert "solver_failure_rate" in out
+
+    def test_exit_one_iff_crit(self, tmp_path, capsys):
+        _write_snapshots(tmp_path, n_bad=50, n_total=100)
+        assert cli_main(["health", str(tmp_path)]) == 1
+        assert "CRIT" in capsys.readouterr().out
+        # WARN alone is not a failing exit.
+        warn_dir = tmp_path / "warn"
+        _write_snapshots(warn_dir, n_bad=10, n_total=100)
+        assert cli_main(["health", str(warn_dir)]) == 0
+        assert "WARN" in capsys.readouterr().out
+
+    def test_json_output_is_machine_readable(self, tmp_path, capsys):
+        _write_snapshots(tmp_path, n_bad=0, n_total=10)
+        assert cli_main(["health", str(tmp_path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["status"] == "ok"
+        assert {r["name"] for r in doc["rules"]} >= {"solver_failure_rate"}
+
+    def test_missing_sidecar_is_usage_error(self, tmp_path, capsys):
+        assert cli_main(["health", str(tmp_path)]) == 2
+        assert "no health snapshots" in capsys.readouterr().err
+
+    def test_window_override(self, tmp_path, capsys):
+        _write_snapshots(tmp_path, n_bad=50, n_total=100)
+        # A 1-second window has no baseline except the adjacent snapshot;
+        # the report still evaluates (falls back to the previous sample).
+        assert cli_main(["health", str(tmp_path), "--window", "3600"]) == 1
+
+    def test_top_renders_one_frame(self, tmp_path, capsys):
+        _write_snapshots(tmp_path, n_bad=50, n_total=100)
+        assert cli_main(["top", str(tmp_path), "--iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "gridmind top" in out
+        assert "status CRIT" in out
+        assert "executor:" in out
+        assert "recent alerts" in out
+        # The replayed monitor surfaces the firing transition.
+        assert "solver_failure_rate" in out
+
+    def test_top_missing_sidecar_is_usage_error(self, tmp_path, capsys):
+        assert cli_main(["top", str(tmp_path), "--iterations", "1"]) == 2
+        assert "no health snapshots" in capsys.readouterr().err
+
+
+class TestServeMetricsFile(object):
+    def test_serve_turn_writes_metrics_file(self, tmp_path, fresh_metrics, capsys):
+        target = tmp_path / "metrics.prom"
+        code = cli_main(
+            [
+                "serve",
+                "--turn",
+                "a: solve ieee14",
+                "--store",
+                str(tmp_path / "store"),
+                "--metrics-file",
+                str(target),
+            ]
+        )
+        assert code == 0
+        text = target.read_text()
+        assert "# TYPE gridmind_requests_total counter" in text
+        assert 'gridmind_session_turns_total{session="a"} 1' in text

@@ -34,7 +34,6 @@ from repro.instrumentation.trace import (
     format_trace_report,
     get_tracer,
     render_trace,
-    set_tracer,
     tracing,
     worker_trace,
 )
@@ -138,6 +137,29 @@ class TestMetrics:
         assert 't_bucket{le="1"} 1' in text
         assert 't_bucket{le="+Inf"} 1' in text
         assert "t_count 1" in text
+
+    def test_label_values_escaped_in_exposition(self, fresh_metrics):
+        # Session ids and case names flow into label values; the
+        # exposition format requires backslash, quote, and newline
+        # escapes or the scrape line is corrupt.
+        c = fresh_metrics.counter("esc_total", "E")
+        c.inc(name='say "hi"')
+        c.inc(name="back\\slash")
+        c.inc(name="two\nlines")
+        text = render_prometheus(fresh_metrics)
+        assert 'esc_total{name="say \\"hi\\""} 1' in text
+        assert 'esc_total{name="back\\\\slash"} 1' in text
+        assert 'esc_total{name="two\\nlines"} 1' in text
+        # Every metric line stays a single physical line.
+        for line in text.splitlines():
+            if line.startswith("esc_total"):
+                assert line.count('"') % 2 == 0
+
+    def test_escaping_applies_to_histogram_extra_labels(self, fresh_metrics):
+        h = fresh_metrics.histogram("esc_t", "T", buckets=(1.0,))
+        h.observe(0.5, case='a"b')
+        text = render_prometheus(fresh_metrics)
+        assert 'esc_t_bucket{case="a\\"b",le="1"} 1' in text
 
     def test_same_name_returns_same_instrument(self, fresh_metrics):
         a = fresh_metrics.counter("x_total", "X")
@@ -488,6 +510,42 @@ class TestExecutorRetry:
         executor = StudyExecutor()
         assert executor.retries == 0
         assert executor.stats()["n_retried"] == 0
+
+    def test_stats_surface_executor_lifecycle(self, case14):
+        scenarios = load_sweep(0.9, 1.1, 4)
+        config = BatchStudyRunner(analysis="powerflow").config()
+        with StudyExecutor(max_workers=2) as executor:
+            executor.run_study(case14, config, scenarios)
+            stats = executor.stats()
+            assert stats["alive"] is True
+        assert stats["max_workers"] == 2
+        assert stats["pools_started"] == 1
+        assert stats["n_studies"] == 1
+        assert stats["n_chunks"] >= 1
+        assert stats["n_retried"] == 0
+        assert 1 <= stats["max_in_flight"] <= 2 * 2  # capped by the window
+        assert stats["n_worker_pids"] >= 1
+        assert executor.stats()["alive"] is False  # after shutdown
+
+    def test_in_flight_gauge_zero_after_sigkill_recovery(self, case14, fresh_metrics):
+        import signal
+
+        scenarios = load_sweep(0.9, 1.1, 4)
+        config = BatchStudyRunner(analysis="powerflow").config()
+        with StudyExecutor(max_workers=1, retries=1) as executor:
+            executor.run_study(case14, config, scenarios)
+            (pid,) = executor.worker_pids
+            os.kill(pid, signal.SIGKILL)
+            executor.run_study(case14, config, scenarios)
+            stats = executor.stats()
+        gauge = fresh_metrics.gauge("gridmind_executor_in_flight")
+        # The finally block must release every slot even when chunks were
+        # resubmitted on a replacement pool mid-study.
+        assert gauge.value() == 0.0
+        # Retries observed by stats() and by the metric counter agree.
+        retried = fresh_metrics.counter("gridmind_chunks_retried_total").total()
+        assert stats["n_retried"] >= 1
+        assert retried == stats["n_retried"]
 
 
 # ----------------------------------------------------------------------
