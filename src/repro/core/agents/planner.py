@@ -26,6 +26,7 @@ INTENT_ROUTES: dict[Intent, str] = {
     Intent.RUN_CONTINGENCY: "contingency",
     Intent.ANALYZE_OUTAGE: "contingency",
     Intent.RUN_STUDY: "study",
+    Intent.WATCH_TELEMETRY: "study",
     Intent.HELP: "acopf",
     Intent.UNKNOWN: "acopf",
 }

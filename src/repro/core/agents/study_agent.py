@@ -58,7 +58,8 @@ ensembles support zonal load correlation.  Report ensemble statistics
 (violation frequencies, cost percentiles, per-slice tables,
 critical-ranking stability), never single-scenario anecdotes, and never
 fabricate numbers; every figure must come from structured study
-results."""
+results.  You can also watch a simulated live telemetry feed, folding
+device frames into rolling-window studies with anomaly alerts."""
 
 _SLICE_BY_DESCRIPTION = (
     "comma-separated tag dimensions to slice aggregates by ('hour', "
@@ -118,6 +119,24 @@ class CompareStudiesArgs(BaseModel):
         default="",
         description="key/label of the later study (default: newest stored)",
     )
+
+
+class WatchTelemetryArgs(BaseModel):
+    case_name: str = Field(description="IEEE case identifier, e.g. 'ieee14'")
+    n_devices: int = Field(
+        default=200, ge=1, le=2_000_000,
+        description="simulated meters/DERs attached to the case's buses",
+    )
+    n_windows: int = Field(
+        default=6, ge=1, le=1000, description="tumbling windows to stream"
+    )
+    window_ticks: int = Field(default=4, ge=1, le=288)
+    anomaly_tick: int = Field(
+        default=-1, ge=-1,
+        description="inject a load-spike anomaly at this tick (-1 = clean feed)",
+    )
+    analysis: str = Field(default="powerflow")
+    seed: int = Field(default=0, ge=0)
 
 
 class ProfileStudyArgs(BaseModel):
@@ -299,6 +318,45 @@ def build_study_registry(
             case_name, scenarios, analysis, n_jobs, "daily_profile", slice_by
         )
 
+    def watch_telemetry(
+        case_name: str,
+        n_devices: int = 200,
+        n_windows: int = 6,
+        window_ticks: int = 4,
+        anomaly_tick: int = -1,
+        analysis: str = "powerflow",
+        seed: int = 0,
+    ) -> dict:
+        # Imported lazily: the telemetry layer is optional for agents that
+        # never watch a feed, mirroring the service's lazy wiring.
+        from ...telemetry import AnomalySpec, run_watch
+
+        _check_analysis(analysis)
+        t0 = time.perf_counter()
+        net = context.activate_case(case_name)
+        anomaly = None
+        if anomaly_tick >= 0:
+            anomaly = AnomalySpec(start_tick=anomaly_tick, duration_ticks=2)
+        payload = run_watch(
+            net,
+            n_devices=n_devices,
+            n_ticks=n_windows * window_ticks,
+            window_ticks=window_ticks,
+            seed=seed,
+            anomaly=anomaly,
+            analysis=analysis,
+        )
+        context.study_summary = payload
+        context.record_provenance(
+            "watch_telemetry",
+            solver=analysis,
+            ok=True,
+            duration_s=time.perf_counter() - t0,
+            n_scenarios=payload["n_ticks"],
+            n_jobs=1,
+        )
+        return payload
+
     def get_study_status() -> dict:
         summary = context.latest_study_summary()
         if summary is None:
@@ -360,6 +418,13 @@ def build_study_registry(
         "Step through a daily load profile and analyse every time point.",
         run_daily_profile_study,
         ProfileStudyArgs,
+    )
+    registry.register(
+        "watch_telemetry",
+        "Stream a simulated telemetry fleet through rolling-window studies "
+        "and report per-window aggregates, anomalies, and alerts.",
+        watch_telemetry,
+        WatchTelemetryArgs,
     )
     registry.register(
         "get_study_status",

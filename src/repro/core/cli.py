@@ -32,6 +32,14 @@ over a shared study pool and (optionally) a persistent result store::
 session — address dependent turns (run a study, then compare it) to the
 same session, or run separate ``serve`` invocations against one
 ``--store`` directory.
+
+The ``watch`` subcommand streams a simulated telemetry fleet through the
+rolling-window study layer, printing each window's aggregate and alerts
+as it closes::
+
+    gridmind watch --case ieee14 --devices 200 --ticks 24 --window 4
+    gridmind watch --case ieee14 --anomaly-tick 8 --anomaly-kind load_spike
+    gridmind watch --case ieee14 --pace wall --speedup 900   # live demo
 """
 
 from __future__ import annotations
@@ -314,6 +322,106 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="render N frames then exit (default: run until interrupted)",
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        help="stream a simulated telemetry fleet through rolling-window "
+        "studies with live per-window summaries and alerts",
+        description=(
+            "Attach a deterministic simulated device fleet (meters and "
+            "DERs) to a case, stream its telemetry feed tick by tick, fold "
+            "every tick's operating point into rolling windows, and print "
+            "each closed window's aggregate, health status, and alerts as "
+            "it closes.  With --pace simulated (the default) the run is "
+            "fully deterministic in (--seed, fleet spec); --pace wall "
+            "plays the feed against the wall clock for live demos."
+        ),
+    )
+    watch.add_argument("--case", required=True, help="case name, e.g. ieee14")
+    watch.add_argument(
+        "--devices", type=int, default=200, help="simulated meters/DERs"
+    )
+    watch.add_argument(
+        "--ticks", type=int, default=24, help="telemetry ticks to stream"
+    )
+    watch.add_argument(
+        "--window", type=int, default=4, metavar="TICKS", help="window size"
+    )
+    watch.add_argument(
+        "--slide",
+        type=int,
+        default=None,
+        metavar="TICKS",
+        help="window slide (default: tumbling; must divide --window)",
+    )
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=900.0,
+        metavar="SECONDS",
+        help="simulated seconds per tick",
+    )
+    watch.add_argument(
+        "--sigma", type=float, default=2.0, help="per-device noise std-dev, %%"
+    )
+    watch.add_argument(
+        "--analysis",
+        choices=("powerflow", "dcopf", "acopf", "screening", "scopf"),
+        default="powerflow",
+    )
+    watch.add_argument(
+        "--anomaly-tick",
+        type=int,
+        default=None,
+        metavar="T",
+        help="inject an anomaly starting at this tick (default: clean feed)",
+    )
+    watch.add_argument(
+        "--anomaly-duration", type=int, default=2, metavar="TICKS"
+    )
+    watch.add_argument(
+        "--anomaly-kind",
+        choices=("load_spike", "voltage_sag", "dropout"),
+        default="load_spike",
+    )
+    watch.add_argument(
+        "--anomaly-feeder",
+        default=None,
+        metavar="LABEL",
+        help="limit the anomaly to one feeder (e.g. feeder_2)",
+    )
+    watch.add_argument(
+        "--anomaly-magnitude", type=float, default=1.8, metavar="X"
+    )
+    watch.add_argument(
+        "--pace",
+        choices=("simulated", "wall"),
+        default="simulated",
+        help="'simulated' streams as fast as it folds; 'wall' paces ticks "
+        "against the wall clock (interval / speedup per tick)",
+    )
+    watch.add_argument(
+        "--speedup",
+        type=float,
+        default=300.0,
+        help="wall pacing compression factor (with --pace wall)",
+    )
+    watch.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=1,
+        help="narration verbosity (repeat for per-window slice tables)",
+    )
+    watch.add_argument(
+        "--json", action="store_true", help="emit the full watch summary as JSON"
+    )
+    watch.add_argument(
+        "--seed",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="fleet RNG seed (also accepted before the subcommand)",
     )
     return parser
 
@@ -815,6 +923,60 @@ def run_top(args) -> int:
         return 0
 
 
+def run_watch_cmd(args) -> int:
+    """Execute the ``watch`` subcommand: live windowed telemetry studies."""
+    from ..grid.cases import load_case
+    from ..llm.narration import narrate_watch, narrate_watch_window
+    from ..telemetry import AnomalySpec, run_watch
+
+    verbosity = min(args.verbose, 2)
+
+    def on_window(update: dict) -> None:
+        if args.json:
+            return
+        print(narrate_watch_window(update, verbosity), flush=True)
+
+    try:
+        net = load_case(args.case)
+        anomaly = None
+        if args.anomaly_tick is not None:
+            anomaly = AnomalySpec(
+                start_tick=args.anomaly_tick,
+                duration_ticks=args.anomaly_duration,
+                kind=args.anomaly_kind,
+                feeder=args.anomaly_feeder,
+                magnitude=args.anomaly_magnitude,
+            )
+        out = run_watch(
+            net,
+            n_devices=args.devices,
+            n_ticks=args.ticks,
+            window_ticks=args.window,
+            slide_ticks=args.slide,
+            seed=getattr(args, "seed", 0),
+            interval_s=args.interval,
+            sigma=args.sigma / 100.0,
+            anomaly=anomaly,
+            analysis=args.analysis,
+            pace=args.pace,
+            speedup=args.speedup,
+            on_window=on_window,
+        )
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"gridmind watch: error: {message}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print()
+        return 0
+    if args.json:
+        print(json.dumps(out, indent=2, default=str))
+        return 0
+    print()
+    print(narrate_watch(out, verbosity))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "command", None) == "study":
@@ -827,6 +989,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_health(args)
     if getattr(args, "command", None) == "top":
         return run_top(args)
+    if getattr(args, "command", None) == "watch":
+        return run_watch_cmd(args)
     color = _supports_color(sys.stdout)
     cyan = _CYAN if color else ""
     dim = _DIM if color else ""

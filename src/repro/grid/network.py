@@ -22,6 +22,12 @@ import numpy as np
 from .components import Branch, Bus, BusType, Generator, Load, NetworkMetadata
 from .units import DEFAULT_BASE_MVA, deg_to_rad
 
+#: Default zone-band count for cases that carry no explicit feeder
+#: metadata: buses are split into this many contiguous, near-equal index
+#: bands (the same partition rule :class:`~repro.scenarios.spec.ZonalLoadScale`
+#: has always used), labelled ``feeder_0`` .. ``feeder_{N-1}``.
+DEFAULT_ZONE_BANDS = 4
+
 
 @dataclass
 class NetworkArrays:
@@ -114,6 +120,12 @@ class Network:
         self.loads: list[Load] = []
         self.branches: list[Branch] = []
         self._version = 0
+        # Optional feeder/zone metadata: bus index -> label.  Empty means
+        # "use the contiguous-band default" (see bus_zone); the IEEE test
+        # cases ship without real feeder topology, so the default keeps
+        # zonal studies meaningful while letting importers or operators
+        # attach real labels via set_bus_zones.
+        self._bus_zones: dict[int, str] = {}
         self._compiled: NetworkArrays | None = None
         # (version, digest) memo maintained by contingency.cache — cleared
         # on every mutation so hot cache-lookup loops only re-serialise the
@@ -222,6 +234,71 @@ class Network:
         return [i for i, br in enumerate(self.branches) if br.in_service]
 
     # ------------------------------------------------------------------
+    # zone / feeder metadata
+    # ------------------------------------------------------------------
+    def set_bus_zones(self, zones: dict[int, str]) -> None:
+        """Attach explicit feeder/zone labels (bus index -> label).
+
+        Partial mappings are allowed: unlabelled buses keep the
+        contiguous-band default.  Labels also mirror into each
+        :class:`~repro.grid.components.Bus`'s ``zone`` field (as the
+        label's ordinal) so array-level consumers see the same grouping.
+        """
+        clean: dict[int, str] = {}
+        for bus, label in zones.items():
+            self._check_bus(bus)
+            if not label or not isinstance(label, str):
+                raise ValueError(
+                    f"bus {bus}: zone label must be a non-empty string, got {label!r}"
+                )
+            clean[int(bus)] = label
+        self._bus_zones = clean
+        ordinals: dict[str, int] = {}
+        for bus in sorted(clean):
+            label = clean[bus]
+            ordinal = ordinals.setdefault(label, len(ordinals) + 1)
+            self.buses[bus].zone = ordinal
+
+    def bus_zone(self, bus: int, n_default: int = DEFAULT_ZONE_BANDS) -> str:
+        """Feeder label for ``bus``: explicit if set, banded otherwise.
+
+        The default partitions bus indices into ``n_default`` contiguous,
+        near-equal bands (bus ``b`` -> band ``b * n // n_bus``) — the same
+        deterministic stand-in for missing feeder topology that
+        :class:`~repro.scenarios.spec.ZonalLoadScale` uses, so telemetry
+        feeder tags and zonal study slices line up by construction.
+        """
+        self._check_bus(bus)
+        label = self._bus_zones.get(bus)
+        if label is not None:
+            return label
+        n = max(1, min(int(n_default), self.n_bus))
+        return f"feeder_{bus * n // self.n_bus}"
+
+    def bus_zones(self, n_default: int = DEFAULT_ZONE_BANDS) -> dict[int, str]:
+        """Feeder label per bus (explicit labels over banded defaults)."""
+        return {b: self.bus_zone(b, n_default) for b in range(self.n_bus)}
+
+    def zone_index(self, bus: int, n_zones: int) -> int:
+        """Map ``bus`` to a zone ordinal in ``[0, n_zones)``.
+
+        With explicit labels, distinct labels get ordinals in first-seen
+        bus order (wrapped modulo ``n_zones`` if there are more labels
+        than zones); without them this is the contiguous-band rule
+        ``bus * n_zones // n_bus`` unchanged.
+        """
+        self._check_bus(bus)
+        if n_zones < 1:
+            raise ValueError(f"n_zones must be >= 1, got {n_zones}")
+        if not self._bus_zones:
+            return bus * n_zones // self.n_bus
+        label = self.bus_zone(bus, n_zones)
+        ordinals: dict[str, int] = {}
+        for b in range(self.n_bus):
+            ordinals.setdefault(self.bus_zone(b, n_zones), len(ordinals))
+        return ordinals[label] % n_zones
+
+    # ------------------------------------------------------------------
     # mutation (agent-facing edits)
     # ------------------------------------------------------------------
     def touch(self) -> None:
@@ -290,6 +367,7 @@ class Network:
         clone.gens = _copy.deepcopy(self.gens)
         clone.loads = _copy.deepcopy(self.loads)
         clone.branches = _copy.deepcopy(self.branches)
+        clone._bus_zones = dict(self._bus_zones)
         return clone
 
     # ------------------------------------------------------------------

@@ -429,6 +429,97 @@ def narrate_economic_impact(res: dict, verbosity: int) -> str:
     )
 
 
+def narrate_watch_window(res: dict, verbosity: int) -> str:
+    """One closed telemetry window, narrated as it ships.
+
+    ``res`` is the watch loop's per-window update dict: the window's
+    aggregate counters plus the alert events it triggered.
+    """
+    head = (
+        f"Window {res['index']} (ticks {res['start_tick']}-{res['end_tick'] - 1}): "
+    )
+    n = res.get("n_results", 0)
+    if n == 0:
+        head += "no telemetry arrived — an empty window is itself a signal."
+    else:
+        head += (
+            f"{n} ticks folded, violation rate "
+            f"{100.0 * res.get('violation_rate', 0.0):.0f}%"
+        )
+        if res.get("n_anomalous"):
+            head += (
+                f", {res['n_anomalous']} tick(s) carried anomalous frames "
+                f"({100.0 * res.get('anomaly_rate', 0.0):.0f}% of the window)"
+            )
+        head += "."
+    if verbosity == 0:
+        return head
+    lines = [head]
+    for alert in res.get("alerts", []):
+        if alert["transition"] == "firing":
+            bit = f"Alert: {alert['rule']} is now {alert['status'].upper()}"
+            if alert.get("value") is not None:
+                bit += f" (was {alert['previous']}, value {alert['value']:.3f})"
+            lines.append(bit + ".")
+        else:
+            lines.append(f"Alert resolved: {alert['rule']} returned to OK.")
+    if verbosity >= 2 and res.get("slices"):
+        lines.extend(narrate_slices(res["slices"], verbosity))
+    return "\n".join(lines)
+
+
+def narrate_watch(res: dict, verbosity: int) -> str:
+    """Whole-watch summary: feed shape, flagged windows, alert history."""
+    lines = [
+        (
+            f"Watched {res['case_name']} for {res['n_ticks']} telemetry ticks: "
+            f"{res['n_frames']} frames from {res['n_devices']} devices, folded "
+            f"into {res['n_windows']} rolling window(s) of {res['window_ticks']} "
+            f"ticks (slide {res['slide_ticks']})."
+        )
+    ]
+    flagged = [w for w in res.get("windows", []) if w.get("n_anomalous")]
+    if res.get("n_anomaly_frames"):
+        windows_bit = (
+            ", ".join(str(w["index"]) for w in flagged[:6]) if flagged else "none"
+        )
+        lines.append(
+            f"{res['n_anomaly_frames']} frames carried an injected anomaly; "
+            f"flagged windows: {windows_bit}."
+        )
+    else:
+        lines.append("No anomalous frames were observed.")
+    alerts = res.get("alerts", [])
+    if alerts:
+        fired = [a for a in alerts if a["transition"] == "firing"]
+        resolved = [a for a in alerts if a["transition"] == "resolved"]
+        bit = f"The health rules fired {len(fired)} alert(s)"
+        if fired:
+            bit += (
+                ": " + "; ".join(
+                    f"{a['rule']} went {a['status'].upper()} at tick-window "
+                    f"boundary t={a['ts']:.0f}s" for a in fired[:4]
+                )
+            )
+        bit += f" ({len(resolved)} later resolved)." if resolved else "."
+        lines.append(bit)
+    else:
+        lines.append("No health rule crossed its alert threshold.")
+    if res.get("n_late_dropped"):
+        lines.append(
+            f"{res['n_late_dropped']} result(s) arrived too late for any open "
+            "window and were dropped rather than rewriting closed aggregates."
+        )
+    if verbosity >= 2:
+        lines.append(
+            f"Peak open windows: {res.get('peak_open_windows', 1)} — rolling "
+            "memory stays bounded by the window, not the feed. Determinism "
+            f"digest {res.get('digest', '')} (same seed and fleet spec "
+            "reproduce these aggregates bit-for-bit)."
+        )
+    return "\n".join(lines)
+
+
 def narrate_error(error: str, tool: str) -> str:
     return (
         f"The {tool} tool reported a problem: {error}. "

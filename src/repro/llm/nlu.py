@@ -26,6 +26,7 @@ class Intent(enum.Enum):
     ECONOMIC_IMPACT = "economic_impact"
     SOLUTION_QUALITY = "solution_quality"
     RUN_STUDY = "run_study"
+    WATCH_TELEMETRY = "watch_telemetry"
     HELP = "help"
     UNKNOWN = "unknown"
 
@@ -56,6 +57,8 @@ _BETWEEN_RE = re.compile(
 _LINE_PAIR_RE = re.compile(r"\b(?:line|branch|transformer)\s+(\d+)\s*[-–to]+\s*(\d+)", re.I)
 _BRANCH_IDX_RE = re.compile(r"\b(?:branch|line)\s*(?:index|idx|#)\s*(\d+)", re.I)
 _TOP_N_RE = re.compile(r"\btop[\s-]*(\d+)", re.I)
+_DEVICES_RE = re.compile(r"\b([\d,_]*\d)\s*(?:devices?|meters?|sensors?)\b", re.I)
+_WINDOWS_RE = re.compile(r"\b(\d+)\s*windows?\b", re.I)
 _CASE_HINT_RE = re.compile(r"\b(?:ieee|case)[\s_\-]*(\d+)|(\d+)[\s-]*bus\b", re.I)
 _NSCEN_RE = re.compile(
     r"(\d+)[\s-]*(?:draw|scenario|sample|iteration|trial|step|point)s?\b", re.I
@@ -204,6 +207,13 @@ def extract_entities(text: str) -> dict:
                 ents["study_analysis"] = analysis
                 break
 
+    m = _DEVICES_RE.search(text)
+    if m:
+        ents["n_devices"] = int(m.group(1).replace(",", "").replace("_", ""))
+    m = _WINDOWS_RE.search(text)
+    if m:
+        ents["n_windows"] = int(m.group(1))
+
     lowered = text.lower()
     if re.search(r"\b(increase|raise|add|grow)\b", lowered):
         ents["direction"] = "increase"
@@ -223,6 +233,12 @@ def extract_entities(text: str) -> dict:
 # ----------------------------------------------------------------------
 
 _INTENT_RULES: list[tuple[Intent, re.Pattern]] = [
+    # Telemetry watch outranks RUN_STUDY: "watch the live feed" is a
+    # standing windowed study, not a batch one.
+    (Intent.WATCH_TELEMETRY, re.compile(
+        r"\b(watch|monitor|observe)\b[^.]*\b(telemetry|live|feed|fleet|meters?)\b|"
+        r"\btelemetry\b|\blive\s+(grid|data|stream)\b|"
+        r"\brolling\s+window|\bstanding\s+stud(y|ies)", re.I)),
     (Intent.RUN_STUDY, re.compile(
         r"monte[\s-]*carlo|\bensemble\b|load\s+sweep|sweep\b[^.]*\b(load|demand)|"
         r"\b(load|demand)\b[^.]*\bsweep|scenario\s+(study|sweep|batch)|"

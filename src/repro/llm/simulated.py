@@ -143,6 +143,7 @@ class SimulatedLLM:
             for t in (
                 "run_n1_contingency_analysis",
                 "analyze_specific_contingency",
+                "watch_telemetry",
                 *STUDY_TOOLS,
             )
         )
@@ -308,6 +309,16 @@ class SimulatedLLM:
             steps.append(PlannedStep("solve_acopf_case", {"case_name": case}))
             return steps
 
+        if parsed.intent == Intent.WATCH_TELEMETRY:
+            if case is None:
+                return None
+            args: dict = {"case_name": case}
+            if "n_devices" in ents:
+                args["n_devices"] = ents["n_devices"]
+            if "n_windows" in ents:
+                args["n_windows"] = ents["n_windows"]
+            return [PlannedStep("watch_telemetry", args)]
+
         if parsed.intent == Intent.RUN_STUDY:
             # Comparison questions target the cross-session result store,
             # not a fresh run — and need no case (the store is addressed
@@ -411,6 +422,7 @@ class SimulatedLLM:
             Intent.ANALYZE_OUTAGE,
             Intent.ECONOMIC_IMPACT,
             Intent.RUN_STUDY,
+            Intent.WATCH_TELEMETRY,
         ) and case is None:
             return "case"
         if parsed.intent == Intent.MODIFY_LOAD:
@@ -453,6 +465,10 @@ class SimulatedLLM:
                 "Stepping through the daily load profile with the "
                 "streaming batch runner."
             ),
+            "watch_telemetry": (
+                "Attaching a simulated device fleet and streaming the live "
+                "feed through the rolling-window study."
+            ),
             "compare_studies": (
                 "Retrieving both persisted result sets and diffing their aggregates."
             ),
@@ -474,7 +490,8 @@ class SimulatedLLM:
                 "contingency analysis, analyse specific outages, rank critical "
                 "elements with reinforcement recommendations, and run batch "
                 "scenario studies (load sweeps, Monte Carlo ensembles, N-2 "
-                "outage combinations, daily load profiles)."
+                "outage combinations, daily load profiles), and watch a live "
+                "telemetry feed through rolling-window studies."
             )
 
         if parsed.intent == Intent.ECONOMIC_IMPACT:
@@ -514,6 +531,9 @@ class SimulatedLLM:
             "assess_solution_quality" in by_tool
         ):
             return narration.narrate_quality(by_tool["assess_solution_quality"], verb)
+
+        if parsed.intent == Intent.WATCH_TELEMETRY and "watch_telemetry" in by_tool:
+            return narration.narrate_watch(by_tool["watch_telemetry"], verb)
 
         if parsed.intent == Intent.RUN_STUDY:
             if "compare_studies" in by_tool:

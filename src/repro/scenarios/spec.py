@@ -103,14 +103,17 @@ class GaussianLoadNoise(Perturbation):
 
 @dataclass(frozen=True)
 class ZonalLoadScale(Perturbation):
-    """Scale loads per *zone*: one multiplier per contiguous bus band.
+    """Scale loads per *zone*: one multiplier per network zone.
 
-    The network's buses are partitioned into ``len(factors)`` contiguous,
-    near-equal index bands (bus ``b`` belongs to zone ``b * Z // n_bus``)
-    — the deterministic stand-in for real zone metadata the IEEE cases
-    don't carry.  Correlated Monte Carlo draws bake their realised zone
-    factors into this record, so the scenario stays plain data: picklable,
-    spec-hashable, and identical wherever it is realised.
+    Zone membership comes from :meth:`~repro.grid.network.Network.zone_index`:
+    explicit feeder labels when the network carries them
+    (``set_bus_zones``), otherwise the historical partition of bus
+    indices into ``len(factors)`` contiguous, near-equal bands (bus ``b``
+    belongs to zone ``b * Z // n_bus``) — the deterministic stand-in for
+    real zone metadata the IEEE cases don't carry.  Correlated Monte
+    Carlo draws bake their realised zone factors into this record, so the
+    scenario stays plain data: picklable, spec-hashable, and identical
+    wherever it is realised.
     """
 
     factors: tuple[float, ...]
@@ -123,7 +126,7 @@ class ZonalLoadScale(Perturbation):
             if f < 0:
                 raise ScenarioError(f"zone factors must be >= 0, got {f}")
         for ld in net.loads:
-            f = self.factors[ld.bus * z // net.n_bus]
+            f = self.factors[net.zone_index(ld.bus, z)]
             ld.pd_mw *= f
             ld.qd_mvar *= f
         net.touch()

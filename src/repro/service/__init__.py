@@ -37,6 +37,9 @@ from .api import (
     SessionInfo,
     StudyReply,
     StudyRequest,
+    WatchReply,
+    WatchRequest,
+    WatchUpdate,
     derive_session_seed,
     thin_progress,
 )
@@ -58,6 +61,9 @@ __all__ = [
     "StudyNotFound",
     "StudyReply",
     "StudyRequest",
+    "WatchReply",
+    "WatchRequest",
+    "WatchUpdate",
     "derive_session_seed",
     "thin_progress",
 ]

@@ -177,6 +177,111 @@ class StudyReply(BaseModel):
     peak_resident_results: int | None = None
 
 
+class WatchRequest(BaseModel):
+    """A standing windowed telemetry study submitted to the service.
+
+    The service attaches a simulated device fleet to the case, streams
+    ``n_ticks`` telemetry ticks through the rolling-window layer, and
+    reports every closed window (plus the alerts it fired) as a
+    :class:`WatchUpdate`.  With ``pace="simulated"`` the run is fully
+    deterministic in (seed, fleet spec); ``pace="wall"`` plays the feed
+    against the wall clock for live demos.
+    """
+
+    case_name: str = Field(description="IEEE case identifier, e.g. 'ieee14'")
+    session_id: str = Field(
+        default="watch", min_length=1,
+        description="session to bill and label this watch under",
+    )
+    analysis: str = Field(default="powerflow")
+    n_devices: int = Field(
+        default=500, ge=1, le=2_000_000,
+        description="simulated meters/DERs attached to the case's buses",
+    )
+    n_ticks: int = Field(
+        default=24, ge=1, le=100_000, description="telemetry ticks to stream"
+    )
+    window_ticks: int = Field(default=4, ge=1, description="rolling window size")
+    slide_ticks: int | None = Field(
+        default=None, ge=1,
+        description="window slide (None = tumbling; must divide window_ticks)",
+    )
+    interval_s: float = Field(
+        default=900.0, gt=0.0, description="simulated seconds per tick"
+    )
+    sigma_percent: float = Field(default=2.0, ge=0.0, le=100.0)
+    der_fraction: float = Field(default=0.25, ge=0.0, le=1.0)
+    seed: int | None = Field(
+        default=None, ge=0,
+        description="fleet seed (None = derived from the session id)",
+    )
+    anomaly_tick: int | None = Field(
+        default=None, ge=0,
+        description="inject an anomaly starting at this tick (None = clean feed)",
+    )
+    anomaly_duration: int = Field(default=2, ge=1)
+    anomaly_kind: str = Field(default="load_spike")
+    anomaly_feeder: str | None = Field(
+        default=None, description="limit the anomaly to one feeder label"
+    )
+    anomaly_magnitude: float = Field(default=1.8, gt=0.0)
+    slice_by: list[str] = Field(
+        default=["feeder", "hour_of_day"],
+        description="tag dimensions each window slices its aggregate by",
+    )
+    pace: str = Field(
+        default="simulated", pattern="^(simulated|wall)$",
+        description="'simulated' streams as fast as it folds; 'wall' paces "
+        "ticks against the wall clock",
+    )
+    speedup: float = Field(
+        default=300.0, gt=0.0,
+        description="wall pacing compression (interval_s / speedup per tick)",
+    )
+    verbosity: int = Field(default=1, ge=0, le=2)
+
+
+class WatchUpdate(BaseModel):
+    """One closed window, streamed live and echoed in the reply."""
+
+    index: int
+    start_tick: int
+    end_tick: int  # exclusive
+    n_results: int = 0
+    n_anomalous: int = 0
+    violation_rate: float = 0.0
+    anomaly_rate: float = 0.0
+    status: str = "ok"
+    alerts: list[dict] = Field(default_factory=list)
+    narration: str = ""
+
+
+class WatchReply(BaseModel):
+    """Outcome of a bounded watch run: windows, alerts, determinism digest."""
+
+    session_id: str
+    case_name: str
+    analysis: str
+    n_devices: int
+    n_ticks: int
+    n_frames: int = 0
+    n_anomaly_frames: int = 0
+    window_ticks: int = 1
+    slide_ticks: int = 1
+    n_windows: int = 0
+    n_alerts: int = 0
+    n_late_dropped: int = 0
+    peak_open_windows: int = 0
+    #: sha256 digest over the pure per-window aggregates — two runs with
+    #: the same seed and fleet spec agree on this bit-for-bit.
+    digest: str = ""
+    status: str = "ok"
+    runtime_s: float = 0.0
+    updates: list[WatchUpdate] = Field(default_factory=list)
+    alerts: list[dict] = Field(default_factory=list)
+    narration: str = ""
+
+
 def thin_progress(events: list[dict], keep: int = 12) -> list[dict]:
     """Bounded, order-preserving sample of a progress-event trail.
 

@@ -40,6 +40,9 @@ from .api import (
     SessionUsage,
     StudyReply,
     StudyRequest,
+    WatchReply,
+    WatchRequest,
+    WatchUpdate,
     derive_session_seed,
     thin_progress,
 )
@@ -334,6 +337,111 @@ class GridMindService:
             n_progress_events=len(events),
             progress=thin_progress(events),
             peak_resident_results=study.peak_resident_results,
+        )
+
+    # ------------------------------------------------------------------
+    # standing windowed telemetry studies
+    # ------------------------------------------------------------------
+    async def watch(
+        self, request: WatchRequest, *, on_update=None
+    ) -> WatchReply:
+        """Run a bounded telemetry watch: fleet -> windows -> alerts.
+
+        ``on_update`` (optional) receives a narrated
+        :class:`~repro.service.api.WatchUpdate` per closed window, invoked
+        from the watch's worker thread as the window closes — the live
+        streaming surface.  The reply echoes every update plus the alert
+        log and the determinism digest.
+        """
+        self._check_open()
+        self._ensure_sampler_task()
+        return await asyncio.to_thread(self._watch_sync, request, on_update)
+
+    def _watch_sync(self, request: WatchRequest, on_update=None) -> WatchReply:
+        with session_scope(request.session_id):
+            return self._watch_inner(request, on_update)
+
+    def _watch_inner(self, request: WatchRequest, on_update=None) -> WatchReply:
+        from ..grid.cases import load_case
+        from ..llm.narration import narrate_watch, narrate_watch_window
+        from ..telemetry import AnomalySpec, run_watch
+
+        net = load_case(request.case_name)
+        seed = (
+            request.seed
+            if request.seed is not None
+            else derive_session_seed(self.seed, request.session_id)
+        )
+        anomaly = None
+        if request.anomaly_tick is not None:
+            anomaly = AnomalySpec(
+                start_tick=request.anomaly_tick,
+                duration_ticks=request.anomaly_duration,
+                kind=request.anomaly_kind,
+                feeder=request.anomaly_feeder,
+                magnitude=request.anomaly_magnitude,
+            )
+        updates: list[WatchUpdate] = []
+
+        def on_window(window: dict) -> None:
+            update = WatchUpdate(
+                index=window["index"],
+                start_tick=window["start_tick"],
+                end_tick=window["end_tick"],
+                n_results=window["n_results"],
+                n_anomalous=window["n_anomalous"],
+                violation_rate=window["violation_rate"],
+                anomaly_rate=window["anomaly_rate"],
+                status=window["status"],
+                alerts=window["alerts"],
+                narration=narrate_watch_window(window, request.verbosity),
+            )
+            updates.append(update)
+            if on_update is not None:
+                on_update(update)
+
+        with get_tracer().span(
+            "service.watch",
+            case=request.case_name,
+            session_id=request.session_id,
+        ):
+            out = run_watch(
+                net,
+                n_devices=request.n_devices,
+                n_ticks=request.n_ticks,
+                window_ticks=request.window_ticks,
+                slide_ticks=request.slide_ticks,
+                seed=seed,
+                interval_s=request.interval_s,
+                sigma=request.sigma_percent / 100.0,
+                der_fraction=request.der_fraction,
+                anomaly=anomaly,
+                analysis=request.analysis,
+                slice_by=tuple(request.slice_by),
+                pace=request.pace,
+                speedup=request.speedup,
+                on_window=on_window,
+            )
+        return WatchReply(
+            session_id=request.session_id,
+            case_name=out["case_name"],
+            analysis=out["analysis"],
+            n_devices=out["n_devices"],
+            n_ticks=out["n_ticks"],
+            n_frames=out["n_frames"],
+            n_anomaly_frames=out["n_anomaly_frames"],
+            window_ticks=out["window_ticks"],
+            slide_ticks=out["slide_ticks"],
+            n_windows=out["n_windows"],
+            n_alerts=out["n_alerts"],
+            n_late_dropped=out["n_late_dropped"],
+            peak_open_windows=out["peak_open_windows"],
+            digest=out["digest"],
+            status=out["status"],
+            runtime_s=out["runtime_s"],
+            updates=updates,
+            alerts=out["alerts"],
+            narration=narrate_watch(out, request.verbosity),
         )
 
     async def compare_studies(

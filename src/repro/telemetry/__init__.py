@@ -1,0 +1,73 @@
+"""Live telemetry: simulated device fleet, windowed studies, watch loop.
+
+The standing-workload vertical (ROADMAP: agents observing a continuous
+grid rather than running one-shot studies):
+
+* :mod:`repro.telemetry.fleet` — :class:`DeviceFleet`, a deterministic
+  simulated meter/DER population with per-device child seeds (any prefix
+  of the feed is reproducible at any fleet size) and injectable
+  anomalies,
+* :mod:`repro.telemetry.feed` — :class:`TelemetryStream`, the adapter
+  from timestamped frames to the :class:`~repro.scenarios.stream
+  .ScenarioStream` contract, with simulated or wall-clock pacing,
+* :mod:`repro.telemetry.window` — :class:`RollingWindowStudy`,
+  tumbling/sliding windows of :class:`~repro.scenarios.aggregate
+  .SlicedReducer`s with eviction (O(window + K) memory on an unbounded
+  feed) plus the :func:`telemetry_rules` health glue,
+* :mod:`repro.telemetry.watch` — :func:`run_watch`, the shared engine
+  behind ``gridmind watch``, the service's ``WatchRequest`` surface, and
+  the study agent's watch tool.
+
+Quickstart::
+
+    from repro import load_case
+    from repro.telemetry import AnomalySpec, run_watch
+
+    out = run_watch(
+        load_case("ieee14"), n_devices=200, n_ticks=24, window_ticks=4,
+        anomaly=AnomalySpec(start_tick=10, duration_ticks=4),
+    )
+    print(out["n_windows"], out["n_alerts"], out["digest"])
+"""
+
+from .feed import PACE_SIMULATED, PACE_WALL, TelemetryStream
+from .fleet import (
+    ANOMALY_KINDS,
+    DEFAULT_INTERVAL_S,
+    AnomalySpec,
+    DeviceFleet,
+    FleetSpec,
+    TelemetryFrame,
+    device_seed,
+    frame_seed,
+)
+from .watch import run_watch
+from .window import (
+    DEFAULT_WINDOW_SLICES,
+    RollingWindowStudy,
+    WindowResult,
+    WindowSpec,
+    telemetry_rules,
+    windows_digest,
+)
+
+__all__ = [
+    "ANOMALY_KINDS",
+    "DEFAULT_INTERVAL_S",
+    "DEFAULT_WINDOW_SLICES",
+    "PACE_SIMULATED",
+    "PACE_WALL",
+    "AnomalySpec",
+    "DeviceFleet",
+    "FleetSpec",
+    "RollingWindowStudy",
+    "TelemetryFrame",
+    "TelemetryStream",
+    "WindowResult",
+    "WindowSpec",
+    "device_seed",
+    "frame_seed",
+    "run_watch",
+    "telemetry_rules",
+    "windows_digest",
+]
