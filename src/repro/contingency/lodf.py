@@ -13,11 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy import sparse
-from scipy.sparse import linalg as sla
 
 from ..grid.network import Network, NetworkArrays
-from ..grid.ybus import build_b_matrices
+from ..powerflow.batch import DcKernel
 
 #: |1 - M_kk| below this means outaging k islands the system (radial line).
 _ISLANDING_TOL = 1e-8
@@ -34,25 +32,23 @@ class SensitivityFactors:
     ref_bus: int
 
 
-def compute_ptdf(arr: NetworkArrays) -> np.ndarray:
-    """PTDF matrix w.r.t. the slack bus (dense)."""
-    bbus, bf, _ = build_b_matrices(arr)
-    ref = int(arr.slack_buses[0])
-    keep = np.flatnonzero(np.arange(arr.n_bus) != ref)
+def compute_ptdf(arr: NetworkArrays, *, kernel: DcKernel | None = None) -> np.ndarray:
+    """PTDF matrix w.r.t. the slack bus (dense).
 
-    # Solve Bbus[keep,keep]^T X = Bf[:,keep]^T  ->  PTDF = X^T.
-    lu = sla.splu(bbus[np.ix_(keep, keep)].tocsc())
-    rhs = np.asarray(bf[:, keep].todense()).T
-    sol = lu.solve(rhs)
-    ptdf = np.zeros((arr.n_branch, arr.n_bus))
-    ptdf[:, keep] = sol.T
-    return ptdf
+    ``kernel`` reuses an existing factorization of this topology
+    (:class:`~repro.powerflow.batch.DcKernel`); by default one is built —
+    either way the LU that solves power flows is the LU that produces
+    sensitivities, never a second ``splu`` + dense round trip.
+    """
+    return (kernel or DcKernel(arr)).ptdf()
 
 
-def compute_factors(net: Network) -> SensitivityFactors:
+def compute_factors(
+    net: Network, *, kernel: DcKernel | None = None
+) -> SensitivityFactors:
     """Compute PTDF and LODF for the current in-service topology."""
     arr = net.compile()
-    ptdf = compute_ptdf(arr)
+    ptdf = compute_ptdf(arr, kernel=kernel)
 
     # M[l, k] = flow change on l per MW transferred f_k -> t_k.
     m = ptdf[:, arr.f_bus] - ptdf[:, arr.t_bus]

@@ -122,7 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     study.add_argument(
         "--analysis",
-        choices=("powerflow", "dcopf", "acopf", "screening", "scopf"),
+        choices=("powerflow", "dc", "dcopf", "acopf", "screening", "scopf"),
         default="powerflow",
     )
     study.add_argument("--jobs", type=int, default=1, help="worker processes")
@@ -367,7 +367,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     watch.add_argument(
         "--analysis",
-        choices=("powerflow", "dcopf", "acopf", "screening", "scopf"),
+        choices=("powerflow", "dc", "dcopf", "acopf", "screening", "scopf"),
         default="powerflow",
     )
     watch.add_argument(
@@ -846,6 +846,16 @@ def _render_top_frame(sampler, monitor, report) -> str:
         f" | scenarios/s {'-' if scenario_rate is None else f'{scenario_rate:.1f}'}"
     )
     lines.append(executor_line)
+
+    batch_solves = sampler.counter_value("gridmind_batch_solves_total")
+    if batch_solves:
+        batch_rows = sampler.counter_value("gridmind_batch_rows_total")
+        row_rate = sampler.rate("gridmind_batch_rows_total")
+        lines.append(
+            f"batch kernels: solves {batch_solves:.0f}"
+            f" | rows {batch_rows:.0f}"
+            f" | rows/s {'-' if row_rate is None else f'{row_rate:.1f}'}"
+        )
 
     sessions = sampler.label_values("gridmind_session_chunks_total", "session")
     if sessions:

@@ -124,6 +124,9 @@ _ANALYSIS_RES: list[tuple[str, re.Pattern]] = [
     ("scopf", re.compile(r"\bscopf\b|security[\s-]*constrained|secured\s+(cost|dispatch)", re.I)),
     ("screening", re.compile(r"contingenc|screening|n-?1\b|critical", re.I)),
     ("dcopf", re.compile(r"\bdc\s*-?opf\b|\bdc\s+optimal", re.I)),
+    # Plain "dc" after the dcopf pattern has had its chance: "dcopf" as a
+    # single word never matches \bdc\b, so only bare mentions land here.
+    ("dc", re.compile(r"\bdc\b|linear(ised|ized)?\s+(power\s+)?flow|batched", re.I)),
     ("acopf", re.compile(r"\bac\s*-?opf\b|acopf|optimal\s+power\s+flow|dispatch|cost", re.I)),
     ("powerflow", re.compile(r"power\s+flow|voltage|loading", re.I)),
 ]

@@ -19,8 +19,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..contingency.lodf import compute_ptdf
 from ..grid.network import Network
+from ..powerflow.batch import DcKernel
 from .acopf import solve_acopf
 from .result import OPFResult
 
@@ -71,12 +71,16 @@ def analyze_sensitivities(net: Network, result: OPFResult | None = None) -> Sens
 
 
 def flow_sensitivities(net: Network, branch_id: int) -> np.ndarray:
-    """dFlow/dInjection (PTDF row, MW per MW) for one branch."""
+    """dFlow/dInjection (PTDF row, MW per MW) for one branch.
+
+    One sparse solve for the requested row — not the full dense PTDF
+    matrix the old path materialised to read a single row out of it.
+    """
     arr = net.compile()
     rows = {int(b): i for i, b in enumerate(arr.branch_ids)}
     if branch_id not in rows:
         raise KeyError(f"branch {branch_id} is not in service")
-    return compute_ptdf(arr)[rows[branch_id]]
+    return DcKernel(arr).ptdf_row(rows[branch_id])
 
 
 @dataclass

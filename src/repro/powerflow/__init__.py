@@ -3,9 +3,12 @@
 ``solve_newton`` is the production path; ``solve_fast_decoupled`` /
 ``solve_gauss_seidel`` / ``solve_dc`` provide the recovery ladder and
 baselines.  ``solve_with_recovery`` implements the paper's automatic
-fallback behaviour (Section 3.2.1).
+fallback behaviour (Section 3.2.1).  ``DcKernel`` is the batched DC
+physics kernel: one factorization per topology serving single solves,
+stacked multi-RHS batches, and PTDF sensitivities.
 """
 
+from .batch import DcBatch, DcKernel, DcSolution, dc_injections, topology_digest
 from .dc import solve_dc
 from .fast_decoupled import solve_fast_decoupled
 from .gauss_seidel import solve_gauss_seidel
@@ -14,8 +17,13 @@ from .recovery import solve_with_recovery
 from .solution import PowerFlowResult
 
 __all__ = [
+    "DcBatch",
+    "DcKernel",
+    "DcSolution",
     "PowerFlowResult",
+    "dc_injections",
     "solve_dc",
+    "topology_digest",
     "solve_fast_decoupled",
     "solve_gauss_seidel",
     "solve_newton",

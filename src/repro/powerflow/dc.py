@@ -4,6 +4,12 @@ Used three ways in this repo: as the fast screening model for the
 contingency engine (PTDF/LODF), as the network model inside DCOPF, and as
 the "alternative algorithm" recovery path the paper's validation layer
 falls back to when an AC solve fails.
+
+The numerical core lives in :class:`repro.powerflow.batch.DcKernel`: one
+sparse factorization per electrical topology, reused across solves, PTDF
+computation, and whole stacked-injection batches.  ``solve_dc`` is the
+one-network convenience wrapper; batch consumers (the scenario runner's
+chunk fast path) hold a kernel and call ``solve_many`` directly.
 """
 
 from __future__ import annotations
@@ -11,48 +17,34 @@ from __future__ import annotations
 import time
 
 import numpy as np
-from scipy.sparse import linalg as sla
 
 from ..grid.network import Network
 from ..grid.units import rad_to_deg
-from ..grid.ybus import build_b_matrices
-from .newton import bus_power_injections
+from .batch import DcKernel, dc_injections
 from .solution import PowerFlowResult
 
 
-def solve_dc(net: Network) -> PowerFlowResult:
+def solve_dc(net: Network, *, kernel: DcKernel | None = None) -> PowerFlowResult:
     """Solve ``Bbus theta = P`` with the slack angle pinned.
 
     Reactive quantities are zero by construction; loading percentages use
-    |P| against the MVA rating (the usual DC convention).
+    |P| against the MVA rating (the usual DC convention).  ``kernel``
+    accepts a prebuilt :class:`~repro.powerflow.batch.DcKernel` for the
+    network's topology (ensemble callers amortise one factorization
+    across every load level); by default one is built here.
     """
     start = time.perf_counter()
     arr = net.compile()
-    bbus, bf, pf_shift = build_b_matrices(arr)
+    if kernel is None:
+        kernel = DcKernel(arr)
 
-    p_inj = bus_power_injections(arr).real
-    # Phase-shift injections: Cft' * pf_shift moves shifter flow to buses.
+    p_inj = dc_injections(arr)
+    sol = kernel.solve_one(p_inj)
     nl = arr.n_branch
-    p_bus_shift = np.zeros(arr.n_bus)
-    np.add.at(p_bus_shift, arr.f_bus, pf_shift)
-    np.add.at(p_bus_shift, arr.t_bus, -pf_shift)
-
-    slack = int(arr.slack_buses[0])
-    keep = np.flatnonzero(np.arange(arr.n_bus) != slack)
-
-    theta = np.zeros(arr.n_bus)
-    theta[slack] = arr.va0[slack]
-    rhs = (p_inj - p_bus_shift)[keep] - bbus[np.ix_(keep, [slack])].toarray().ravel() * theta[slack]
-    theta[keep] = sla.spsolve(bbus[np.ix_(keep, keep)].tocsc(), rhs)
-
-    p_flow = bf @ theta + pf_shift  # p.u., from->to
     base = arr.base_mva
-    with np.errstate(divide="ignore", invalid="ignore"):
-        loading = np.where(
-            arr.rate_a > 0, 100.0 * np.abs(p_flow) / arr.rate_a, 0.0
-        )
 
     # Lossless model: the slack units absorb any scheduled imbalance.
+    slack = kernel.slack
     gen_p = arr.pg0.copy()
     slack_rows = np.flatnonzero(arr.gen_bus == slack)
     if slack_rows.size:
@@ -65,14 +57,14 @@ def solve_dc(net: Network) -> PowerFlowResult:
         method="dc",
         max_mismatch_pu=0.0,
         vm=np.ones(arr.n_bus),
-        va_deg=rad_to_deg(theta),
-        p_from_mw=p_flow * base,
+        va_deg=rad_to_deg(sol.theta),
+        p_from_mw=sol.p_flow * base,
         q_from_mvar=zeros.copy(),
-        p_to_mw=-p_flow * base,
+        p_to_mw=-sol.p_flow * base,
         q_to_mvar=zeros.copy(),
-        s_from_mva=np.abs(p_flow) * base,
-        s_to_mva=np.abs(p_flow) * base,
-        loading_percent=loading,
+        s_from_mva=np.abs(sol.p_flow) * base,
+        s_to_mva=np.abs(sol.p_flow) * base,
+        loading_percent=sol.loading_percent,
         branch_ids=arr.branch_ids.copy(),
         gen_p_mw=gen_p * base,
         gen_q_mvar=np.zeros(arr.n_gen),

@@ -69,6 +69,7 @@ from .spec import (
     BranchOutage,
     GaussianLoadNoise,
     GeneratorOutage,
+    LoadVector,
     PerBusLoadScale,
     Perturbation,
     RenewableInjection,
@@ -89,6 +90,7 @@ __all__ = [
     "BranchOutage",
     "GaussianLoadNoise",
     "GeneratorOutage",
+    "LoadVector",
     "P2Quantile",
     "PerBusLoadScale",
     "Perturbation",

@@ -1,17 +1,24 @@
 """BatchStudyRunner: execute a scenario stream against one analysis engine.
 
-Each scenario realises a fresh network copy and runs one of five
-analyses: AC power flow, DCOPF, ACOPF, two-stage contingency screening,
-or preventive SCOPF.  Scenarios are independent, so the runner fans
-chunks out over a ``concurrent.futures`` process pool; every worker is
-initialised once with the pickled base network and then amortises the
-expensive shared state across all scenarios it processes:
+Each scenario realises a fresh network copy and runs one of six
+analyses: AC power flow, linear DC screening, DCOPF, ACOPF, two-stage
+contingency screening, or preventive SCOPF.  Scenarios are independent,
+so the runner fans chunks out over a ``concurrent.futures`` process
+pool; every worker is initialised once with the pickled base network and
+then amortises the expensive shared state across all scenarios it
+processes:
 
-* the PTDF/LODF sensitivity factors, keyed by an electrical-topology
-  digest (load-only perturbations reuse one factorisation for the whole
-  ensemble), and
+* the compiled DC kernels and PTDF/LODF sensitivity factors, keyed by an
+  electrical-topology digest (load-only perturbations reuse one
+  factorisation for the whole ensemble), and
 * the composite-key contingency cache, so identical (content, outage)
   evaluations are never repeated within a worker.
+
+Chunks, not scenarios, are the worker's unit of work: injection-only
+chunks of the linear analyses route through the batched physics kernels
+(:mod:`repro.powerflow.batch`) — one stacked multi-RHS solve per chunk,
+bit-identical to the scalar loop — while mixed or topology-changing
+chunks degrade gracefully to per-scenario evaluation.
 
 Results are plain-data :class:`ScenarioResult` records — cheap to pickle
 back — and the chunked dispatch preserves scenario order, so serial,
@@ -30,7 +37,6 @@ ensembles opt out and hold O(window x chunk + K) results at peak.
 
 from __future__ import annotations
 
-import hashlib
 import heapq
 import itertools
 import math
@@ -55,9 +61,10 @@ from ..contingency.cache import ContingencyCache
 from ..contingency.lodf import SensitivityFactors, compute_factors
 from ..contingency.nminus1 import NMinus1Report, analyze_single_outage
 from ..contingency.ranking import rank_critical_elements
-from ..contingency.screening import screen_dc
+from ..contingency.screening import screen_dc, screen_dc_many
 from ..grid import graph as gridgraph
 from ..grid.network import Network
+from ..powerflow.batch import DcKernel, topology_digest
 from .aggregate import (
     DEFAULT_SLICE_MAX_VALUES,
     SlicedReducer,
@@ -68,7 +75,7 @@ from .aggregate import (
 from .spec import Scenario, ScenarioError
 from .stream import as_stream, stream_length
 
-ANALYSES = ("powerflow", "dcopf", "acopf", "screening", "scopf")
+ANALYSES = ("powerflow", "dc", "dcopf", "acopf", "screening", "scopf")
 
 #: Chunk-size ceiling (also the size used when the stream's length is
 #: unknown).  The ~4-chunks-per-worker split is capped here so the
@@ -282,6 +289,11 @@ class StudyConfig:
     top_n: int = 5
     slice_by: tuple[str, ...] = ()
     slice_max_values: int = DEFAULT_SLICE_MAX_VALUES
+    #: Route injection-only chunks of the linear analyses ("dc",
+    #: "screening") through the batched kernels.  Results are
+    #: bit-identical either way (the ablation's point), so the store's
+    #: spec hash excludes this knob exactly like the ``slice_*`` pair.
+    batch_kernels: bool = True
 
     def slice_spec(self) -> SliceSpec:
         return SliceSpec(by=tuple(self.slice_by), max_values=self.slice_max_values)
@@ -296,46 +308,197 @@ class _WorkerState:
     #: cap it is simply dropped (reuse is an optimisation, not state).
     CA_CACHE_MAX_ENTRIES = 20_000
 
+    #: Entry caps for the topology-keyed factor and kernel caches.  Outage
+    #: ensembles mint a new digest per scenario, so without a cap these
+    #: grow with the ensemble (dense PTDF/LODF matrices and LU objects,
+    #: respectively — far heavier per entry than the CA cache's records).
+    #: Past the cap the cache is dropped, same policy as the CA cache.
+    FACTORS_CACHE_MAX_ENTRIES = 256
+    KERNEL_CACHE_MAX_ENTRIES = 64
+
     def __init__(self, base: Network, config: StudyConfig) -> None:
         self.base = base
         self.config = config
         self.factors_cache: dict[bytes, SensitivityFactors] = {}
+        self.kernel_cache: dict[bytes, DcKernel] = {}
         self.ca_cache = ContingencyCache()
 
     # ------------------------------------------------------------------
+    def kernel_for(self, net: Network) -> DcKernel:
+        """Compiled :class:`DcKernel`, cached on the topology digest.
+
+        One factorization per electrical topology per worker: the whole
+        load-perturbation ensemble (and every PTDF computation for it)
+        reuses this kernel's LU.
+        """
+        arr = net.compile()
+        key = topology_digest(arr)
+        kernel = self.kernel_cache.get(key)
+        if kernel is None:
+            if len(self.kernel_cache) >= self.KERNEL_CACHE_MAX_ENTRIES:
+                self.kernel_cache.clear()
+            kernel = DcKernel(arr)
+            self.kernel_cache[key] = kernel
+        return kernel
+
     def factors_for(self, net: Network) -> SensitivityFactors:
         """PTDF/LODF factors, cached on the electrical-topology digest.
 
         The digest covers everything the DC factors depend on (incidence,
         impedances, taps, shifts, bus types) but *not* loads — so a
-        load-perturbation ensemble computes one factorisation total.
+        load-perturbation ensemble computes one factorisation total, and
+        the PTDF comes through the same LU the kernel cache holds.
         """
         arr = net.compile()
-        key = hashlib.blake2b(
-            b"".join(
-                (
-                    arr.branch_ids.tobytes(),
-                    arr.f_bus.tobytes(),
-                    arr.t_bus.tobytes(),
-                    arr.r.tobytes(),
-                    arr.x.tobytes(),
-                    arr.tap.tobytes(),
-                    arr.shift.tobytes(),
-                    arr.bus_type.tobytes(),
-                )
-            ),
-            digest_size=16,
-        ).digest()
+        key = topology_digest(arr)
         factors = self.factors_cache.get(key)
         if factors is None:
-            factors = compute_factors(net)
+            if len(self.factors_cache) >= self.FACTORS_CACHE_MAX_ENTRIES:
+                self.factors_cache.clear()
+            factors = compute_factors(net, kernel=self.kernel_for(net))
             self.factors_cache[key] = factors
         return factors
 
     # ------------------------------------------------------------------
-    def run_scenario(self, scenario: Scenario) -> ScenarioResult:
+    def run_chunk(self, scenarios: list[Scenario]) -> list[ScenarioResult]:
+        """Chunk-level entry point every execution path funnels through.
+
+        Scenarios are grouped by whether they keep the base electrical
+        topology: for the linear analyses, the injection-only group maps
+        onto one topology digest (the base's) and is solved through the
+        batched kernels in one multi-RHS pass, while topology-changing
+        scenarios — and every scenario of the nonlinear analyses — take
+        the scalar per-scenario loop.  Chunk results come back in
+        submission order and are bit-identical to the scalar path.
+        """
+        cfg = self.config
+        if (
+            cfg.batch_kernels
+            and cfg.analysis in ("dc", "screening")
+            and len(scenarios) >= 2
+        ):
+            batch_idx = [i for i, s in enumerate(scenarios) if s.injection_only]
+            if len(batch_idx) >= 2:
+                batched = self._run_chunk_batched(
+                    [scenarios[i] for i in batch_idx]
+                )
+                if batched is not None:
+                    out: list[ScenarioResult | None] = [None] * len(scenarios)
+                    for i, r in zip(batch_idx, batched):
+                        out[i] = r
+                    for i, s in enumerate(scenarios):
+                        if out[i] is None:
+                            out[i] = self.run_scenario(s)
+                    return out  # type: ignore[return-value]
+        return [self.run_scenario(s) for s in scenarios]
+
+    def _run_chunk_batched(
+        self, scenarios: list[Scenario]
+    ) -> list[ScenarioResult] | None:
+        """Evaluate an injection-only group through the batched kernels.
+
+        Returns ``None`` to signal "degrade to the scalar loop" — when the
+        base case itself is disconnected (the scalar path's per-scenario
+        stranded-MW message needs each realized network) or the kernel
+        cannot be built.  Per-scenario perturbation errors do *not* sink
+        the group: the offending scenario gets the same error record the
+        scalar path would produce and the rest still batch.
+        """
+        cfg = self.config
+        base = self.base
+        if not gridgraph.is_connected(base):
+            return None
+        try:
+            kernel = self.kernel_for(base)
+        except Exception:
+            return None
+
+        tick = time.perf_counter()
+        results: list[ScenarioResult | None] = [None] * len(scenarios)
+        vectors: list[np.ndarray] = []
+        live: list[int] = []
+        for i, scenario in enumerate(scenarios):
+            try:
+                vectors.append(scenario.injection_vector(base))
+                live.append(i)
+            except ScenarioError as exc:
+                results[i] = ScenarioResult(
+                    name=scenario.name, tags=dict(scenario.tags),
+                    converged=False, error=str(exc),
+                )
+            except Exception as exc:
+                results[i] = ScenarioResult(
+                    name=scenario.name, tags=dict(scenario.tags),
+                    converged=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+
+        metrics = get_metrics()
+        with get_tracer().span(
+            "chunk.batch", analysis=cfg.analysis, n_scenarios=len(live)
+        ):
+            if live:
+                p_inj = np.vstack(vectors)
+                if cfg.analysis == "dc":
+                    batch = kernel.solve_many(p_inj)
+                    per_scn = (time.perf_counter() - tick) / len(live)
+                    for j, i in enumerate(live):
+                        results[i] = self._dc_result(
+                            scenarios[i], kernel.arr, batch.loading_percent[j]
+                        )
+                        results[i].solve_time_s = per_scn
+                else:  # screening: batch the DC estimate, AC-verify per scenario
+                    factors = self.factors_for(base)
+                    estimates = screen_dc_many(kernel, factors, p_inj)
+                    for j, i in enumerate(live):
+                        results[i] = self.run_scenario(
+                            scenarios[i], estimate=estimates[j]
+                        )
+                metrics.counter(
+                    "gridmind_batch_solves_total",
+                    "Multi-RHS batched kernel solve calls",
+                ).inc(analysis=cfg.analysis)
+                metrics.counter(
+                    "gridmind_batch_rows_total",
+                    "Scenario rows solved through the batched kernels",
+                ).inc(len(live), analysis=cfg.analysis)
+
+        # Metric parity with the scalar loop: screening rows already went
+        # through run_scenario; the dc rows (and error records) have not.
+        if cfg.analysis == "dc":
+            counter = metrics.counter(
+                "gridmind_scenarios_total", "Scenario evaluations by outcome"
+            )
+            for r in results:
+                counter.inc(analysis=cfg.analysis, converged=r.converged)
+        return results  # type: ignore[return-value]
+
+    def _dc_result(
+        self, scenario: Scenario, arr, loading: np.ndarray
+    ) -> ScenarioResult:
+        """Reduce one DC loading vector to a result record — the single
+        reduction both the scalar and batched dc paths run, so their
+        records are bit-identical by construction."""
+        cfg = self.config
+        over_rows = np.flatnonzero(loading > cfg.overload_threshold)
+        # DC holds every voltage at 1.0 p.u. flat by construction.
+        n_volt = arr.n_bus if (1.0 < cfg.vmin or 1.0 > cfg.vmax) else 0
+        return ScenarioResult(
+            name=scenario.name,
+            tags=dict(scenario.tags),
+            converged=True,
+            max_loading_percent=float(loading.max()) if loading.size else 0.0,
+            min_voltage_pu=1.0,
+            max_voltage_pu=1.0,
+            losses_mw=0.0,
+            overloaded_branches=[int(arr.branch_ids[r]) for r in over_rows],
+            n_voltage_violations=n_volt,
+        )
+
+    # ------------------------------------------------------------------
+    def run_scenario(self, scenario: Scenario, **hints) -> ScenarioResult:
         with get_tracer().span("scenario.run", scenario=scenario.name) as span:
-            result = self._run_scenario(scenario)
+            result = self._run_scenario(scenario, **hints)
             span.tags["converged"] = result.converged
             if result.error:
                 span.status = "error"
@@ -345,7 +508,7 @@ class _WorkerState:
         ).inc(analysis=self.config.analysis, converged=result.converged)
         return result
 
-    def _run_scenario(self, scenario: Scenario) -> ScenarioResult:
+    def _run_scenario(self, scenario: Scenario, **hints) -> ScenarioResult:
         tick = time.perf_counter()
         try:
             net = scenario.realize(self.base)
@@ -363,7 +526,7 @@ class _WorkerState:
                 )
             else:
                 runner = getattr(self, f"_run_{self.config.analysis}")
-                result = runner(net, scenario)
+                result = runner(net, scenario, **hints)
         except ScenarioError as exc:
             result = ScenarioResult(
                 name=scenario.name, tags=dict(scenario.tags),
@@ -439,6 +602,16 @@ class _WorkerState:
             )
         return self._reduce_opf(scenario, res)
 
+    def _run_dc(self, net: Network, scenario: Scenario) -> ScenarioResult:
+        """Linear DC screening solve — the scalar side of the batched
+        kernels' fast path (chunks of injection-only scenarios route
+        through :meth:`run_chunk` / ``solve_many`` instead)."""
+        from ..powerflow.dc import solve_dc
+
+        kernel = self.kernel_for(net)
+        res = solve_dc(net, kernel=kernel)
+        return self._dc_result(scenario, net.compile(), res.loading_percent)
+
     def _run_dcopf(self, net: Network, scenario: Scenario) -> ScenarioResult:
         from ..opf.dcopf import solve_dcopf
 
@@ -466,7 +639,9 @@ class _WorkerState:
         out.n_contingency_violations = len(res.unattainable)
         return out
 
-    def _run_screening(self, net: Network, scenario: Scenario) -> ScenarioResult:
+    def _run_screening(
+        self, net: Network, scenario: Scenario, estimate=None
+    ) -> ScenarioResult:
         cfg = self.config
         base = self._solve_pf(net)
         if not base.converged:
@@ -476,8 +651,12 @@ class _WorkerState:
                 error=base.message or "base power flow diverged",
             )
 
-        factors = self.factors_for(net)
-        estimate = screen_dc(net, factors=factors)
+        if estimate is None:
+            # ``estimate`` arrives precomputed from the chunk fast path
+            # (one stacked solve + LODF product for the whole group);
+            # the scalar path computes the identical estimate here.
+            factors = self.factors_for(net)
+            estimate = screen_dc(net, factors=factors)
         candidates = sorted(
             set(estimate.top(cfg.ac_budget))
             | set(int(b) for b in estimate.islanding)
@@ -583,7 +762,7 @@ def _execute_chunk(
     try:
         with worker_trace(trace_ctx) as tracer:
             with tracer.span("worker.chunk", n_scenarios=len(scenarios)):
-                results = [state.run_scenario(s) for s in scenarios]
+                results = state.run_chunk(scenarios)
         delta = (
             state_delta(get_metrics().state(), before)
             if collect_metrics
@@ -711,6 +890,9 @@ class BatchStudyRunner:
     #: parsed through :func:`~repro.scenarios.generators.resolve_slice_by`.
     slice_by: tuple[str, ...] | str = ()
     slice_max_values: int = DEFAULT_SLICE_MAX_VALUES
+    #: Batched-kernel fast path for injection-only chunks of the linear
+    #: analyses; off forces the scalar loop (the ablation baseline).
+    batch_kernels: bool = True
 
     def config(self) -> StudyConfig:
         """The validated per-study knob bundle shipped to every worker."""
@@ -732,6 +914,7 @@ class BatchStudyRunner:
             top_n=self.top_n,
             slice_by=tuple(slice_by),
             slice_max_values=self.slice_max_values,
+            batch_kernels=self.batch_kernels,
         )
         config.slice_spec()  # validate dimensions/cap before dispatch
         return config
@@ -749,7 +932,7 @@ class BatchStudyRunner:
         for chunk_scns in iter_chunks(scenarios, chunk):
             tick = time.perf_counter()
             with tracer.span("worker.chunk", n_scenarios=len(chunk_scns)):
-                results = [state.run_scenario(s) for s in chunk_scns]
+                results = state.run_chunk(chunk_scns)
             yield ChunkOutcome(
                 results=results,
                 worker_pid=os.getpid(),

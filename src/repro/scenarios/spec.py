@@ -11,11 +11,25 @@ yields the same network.
 ``Scenario.realize(base)`` applies the perturbations to a *fresh copy* of
 the base network, never to the base itself — the isolation guarantee the
 batch runner relies on when it fans scenarios out across workers.
+
+Perturbations that only move *bus injections* (load scales, noise draws,
+renewable infeed) additionally carry an ``injection_only`` flag and a
+vectorized form, :meth:`Perturbation.apply_to_loads`, operating on a
+plain per-load array view instead of component objects.  A whole chunk
+of such scenarios shares the base network's electrical topology, so
+:meth:`Scenario.injection_vector` can produce the exact DC injection
+vector a realized copy would compile to — bit-identical, including the
+per-load draw counts and accumulation order — without ever paying
+``net.copy()`` + ``compile()``.  That is what feeds the batched physics
+kernels (:mod:`repro.powerflow.batch`).  Topology-changing perturbations
+(:class:`BranchOutage`, :class:`GeneratorOutage`) keep
+``injection_only = False`` and take the per-scenario path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import ClassVar
 
 import numpy as np
 
@@ -26,12 +40,75 @@ class ScenarioError(ValueError):
     """A perturbation could not be applied to the target network."""
 
 
+class LoadVector:
+    """Mutable per-load array view for vectorized perturbation replay.
+
+    Rows mirror ``net.loads`` in list order (including out-of-service
+    loads, which scale operations touch exactly like the object path);
+    :class:`RenewableInjection` appends rows the way ``add_load`` appends
+    components, so stochastic perturbations that draw one variate per
+    load row see the same row count at the same point in the sequence.
+    """
+
+    __slots__ = ("bus", "pd_mw", "in_service")
+
+    def __init__(
+        self, bus: np.ndarray, pd_mw: np.ndarray, in_service: np.ndarray
+    ) -> None:
+        self.bus = bus
+        self.pd_mw = pd_mw
+        self.in_service = in_service
+
+    @classmethod
+    def from_network(cls, net: Network) -> "LoadVector":
+        return cls(
+            bus=np.array([ld.bus for ld in net.loads], dtype=np.int64),
+            pd_mw=np.array([ld.pd_mw for ld in net.loads], dtype=float),
+            in_service=np.array([ld.in_service for ld in net.loads], dtype=bool),
+        )
+
+    def __len__(self) -> int:
+        return len(self.pd_mw)
+
+    def append(self, bus: int, pd_mw: float) -> None:
+        self.bus = np.append(self.bus, np.int64(bus))
+        self.pd_mw = np.append(self.pd_mw, float(pd_mw))
+        self.in_service = np.append(self.in_service, True)
+
+    def bus_pd_pu(self, n_bus: int, base_mva: float) -> np.ndarray:
+        """Aggregate to per-bus load (p.u.) the way ``Network.compile``
+        does: per-row division, then in-order accumulation."""
+        pd = np.zeros(n_bus)
+        live = self.in_service
+        np.add.at(pd, self.bus[live], self.pd_mw[live] / base_mva)
+        return pd
+
+
 @dataclass(frozen=True)
 class Perturbation:
     """Base record: subclasses implement :meth:`apply` (mutating ``net``)."""
 
+    #: True when the perturbation moves only bus power injections and
+    #: therefore admits the vectorized :meth:`apply_to_loads` replay; the
+    #: batched DC fast path requires every perturbation in a scenario to
+    #: set this.
+    injection_only: ClassVar[bool] = False
+
     def apply(self, net: Network) -> None:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def apply_to_loads(self, net: Network, loads: LoadVector) -> None:
+        """Vectorized replay of :meth:`apply` against a load-array view.
+
+        Must perform the same validation (raising the same
+        :class:`ScenarioError`) and the same per-load floating-point
+        operations as :meth:`apply`, so the aggregated injection vector
+        is bit-identical to realizing the scenario.  Only meaningful when
+        ``injection_only`` is True.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no vectorized injection form"
+        )
 
     def describe(self) -> str:
         return type(self).__name__
@@ -42,11 +119,17 @@ class UniformLoadScale(Perturbation):
     """Multiply every load in the system by ``factor``."""
 
     factor: float
+    injection_only: ClassVar[bool] = True
 
     def apply(self, net: Network) -> None:
         if self.factor < 0:
             raise ScenarioError(f"load scale factor must be >= 0, got {self.factor}")
         net.scale_loads(self.factor)
+
+    def apply_to_loads(self, net: Network, loads: LoadVector) -> None:
+        if self.factor < 0:
+            raise ScenarioError(f"load scale factor must be >= 0, got {self.factor}")
+        loads.pd_mw *= self.factor
 
     def describe(self) -> str:
         return f"scale all loads x{self.factor:g}"
@@ -57,6 +140,7 @@ class PerBusLoadScale(Perturbation):
     """Scale the loads at specific buses: ``factors`` is ((bus, factor), ...)."""
 
     factors: tuple[tuple[int, float], ...]
+    injection_only: ClassVar[bool] = True
 
     def apply(self, net: Network) -> None:
         for bus, factor in self.factors:
@@ -68,6 +152,14 @@ class PerBusLoadScale(Perturbation):
                 ld.pd_mw *= factor
                 ld.qd_mvar *= factor
         net.touch()
+
+    def apply_to_loads(self, net: Network, loads: LoadVector) -> None:
+        for bus, factor in self.factors:
+            if not 0 <= bus < net.n_bus:
+                raise ScenarioError(f"bus {bus} does not exist in {net.name!r}")
+            if factor < 0:
+                raise ScenarioError(f"bus {bus}: scale factor must be >= 0")
+            loads.pd_mw[loads.bus == bus] *= factor
 
     def describe(self) -> str:
         inner = ", ".join(f"bus {b} x{f:g}" for b, f in self.factors)
@@ -86,6 +178,7 @@ class GaussianLoadNoise(Perturbation):
 
     sigma: float
     seed: int
+    injection_only: ClassVar[bool] = True
 
     def apply(self, net: Network) -> None:
         if self.sigma < 0:
@@ -96,6 +189,16 @@ class GaussianLoadNoise(Perturbation):
             ld.pd_mw *= f
             ld.qd_mvar *= f
         net.touch()
+
+    def apply_to_loads(self, net: Network, loads: LoadVector) -> None:
+        if self.sigma < 0:
+            raise ScenarioError(f"sigma must be >= 0, got {self.sigma}")
+        rng = np.random.default_rng(self.seed)
+        # len(loads), not len(net.loads): an earlier RenewableInjection in
+        # the same scenario appends a row, and the draw count must track
+        # the row count exactly as the object path does.
+        factors = np.maximum(0.0, 1.0 + rng.normal(0.0, self.sigma, len(loads)))
+        loads.pd_mw *= factors
 
     def describe(self) -> str:
         return f"gaussian load noise sigma={self.sigma:g} seed={self.seed}"
@@ -117,6 +220,7 @@ class ZonalLoadScale(Perturbation):
     """
 
     factors: tuple[float, ...]
+    injection_only: ClassVar[bool] = True
 
     def apply(self, net: Network) -> None:
         z = len(self.factors)
@@ -130,6 +234,18 @@ class ZonalLoadScale(Perturbation):
             ld.pd_mw *= f
             ld.qd_mvar *= f
         net.touch()
+
+    def apply_to_loads(self, net: Network, loads: LoadVector) -> None:
+        z = len(self.factors)
+        if z < 1:
+            raise ScenarioError("zonal scale needs at least one zone factor")
+        for f in self.factors:
+            if f < 0:
+                raise ScenarioError(f"zone factors must be >= 0, got {f}")
+        per_row = np.array(
+            [self.factors[net.zone_index(int(b), z)] for b in loads.bus], dtype=float
+        )
+        loads.pd_mw *= per_row
 
     def describe(self) -> str:
         inner = ", ".join(f"{f:g}" for f in self.factors)
@@ -176,6 +292,7 @@ class RenewableInjection(Perturbation):
     bus: int
     p_mw: float
     q_mvar: float = 0.0
+    injection_only: ClassVar[bool] = True
 
     def apply(self, net: Network) -> None:
         if not 0 <= self.bus < net.n_bus:
@@ -188,6 +305,13 @@ class RenewableInjection(Perturbation):
             qd_mvar=-self.q_mvar,
             name=f"renewable_b{self.bus}",
         )
+
+    def apply_to_loads(self, net: Network, loads: LoadVector) -> None:
+        if not 0 <= self.bus < net.n_bus:
+            raise ScenarioError(f"bus {self.bus} does not exist in {net.name!r}")
+        if self.p_mw < 0:
+            raise ScenarioError(f"injection must be >= 0 MW, got {self.p_mw}")
+        loads.append(self.bus, -self.p_mw)
 
     def describe(self) -> str:
         return f"inject {self.p_mw:g} MW renewable at bus {self.bus}"
@@ -219,6 +343,37 @@ class Scenario:
                     f"scenario {self.name!r}: {pert.describe()} failed: {exc}"
                 ) from exc
         return net
+
+    @property
+    def injection_only(self) -> bool:
+        """True when every perturbation admits the vectorized replay —
+        i.e. the scenario keeps the base electrical topology."""
+        return all(p.injection_only for p in self.perturbations)
+
+    def injection_vector(self, base: Network) -> np.ndarray:
+        """DC injection vector (p.u.) of the realized scenario, without
+        realizing it.
+
+        Bit-identical to ``dc_injections(self.realize(base).compile())``
+        for injection-only scenarios: the perturbations replay against a
+        per-load array in list order, aggregation divides then
+        accumulates exactly as ``Network.compile`` does, and generator
+        dispatch is untouched by construction.
+        """
+        arr = base.compile()
+        loads = LoadVector.from_network(base)
+        for pert in self.perturbations:
+            try:
+                pert.apply_to_loads(base, loads)
+            except ScenarioError:
+                raise
+            except (IndexError, ValueError) as exc:
+                raise ScenarioError(
+                    f"scenario {self.name!r}: {pert.describe()} failed: {exc}"
+                ) from exc
+        p = -loads.bus_pd_pu(arr.n_bus, base.base_mva)
+        np.add.at(p, arr.gen_bus, arr.pg0)
+        return p
 
     def describe(self) -> str:
         if not self.perturbations:

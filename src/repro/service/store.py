@@ -91,12 +91,15 @@ def spec_hash(config: StudyConfig, scenarios: list[Scenario]) -> str:
     different slicing overwrites one entry (the index sidecar is
     refreshed with the new slices) instead of duplicating a multi-MB
     payload — and keys minted before slicing existed keep matching.
+    ``batch_kernels`` is excluded for the same reason: the batched and
+    scalar paths produce bit-identical records, so toggling the fast
+    path must not mint a second store entry.
     """
     canon = {
         "config": {
             k: v
             for k, v in dataclasses.asdict(config).items()
-            if not k.startswith("slice_")
+            if not k.startswith("slice_") and k != "batch_kernels"
         },
         "scenarios": [
             {

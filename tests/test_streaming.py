@@ -9,6 +9,7 @@ results and backpressure, and the store's retention/integrity lifecycle
 ops behave.
 """
 
+import dataclasses
 import itertools
 import json
 
@@ -257,6 +258,24 @@ class TestStreamingExecution:
             ).run(case14, scns, keep_results=False)
         assert serial.aggregate().to_dict() == pooled.aggregate().to_dict()
         assert serial.aggregate().to_dict() == streamed.aggregate().to_dict()
+
+    def test_dc_records_identical_across_paths(self, case14):
+        """The batched dc fast path holds the identity guarantee too:
+        serial and pooled runs produce bit-identical record lists."""
+        scns = monte_carlo_ensemble(n=8, sigma=0.05, seed=11)
+        serial = BatchStudyRunner(analysis="dc", n_jobs=1).run(case14, scns)
+        pooled = BatchStudyRunner(analysis="dc", n_jobs=2).run(case14, scns)
+
+        def records(study):
+            out = []
+            for r in study.results:
+                d = dataclasses.asdict(r)
+                d["solve_time_s"] = 0.0  # wall clock, the one timing field
+                out.append(d)
+            return out
+
+        assert records(serial) == records(pooled)
+        assert serial.aggregate().to_dict() == pooled.aggregate().to_dict()
 
     def test_streamed_worst_k_matches_materialized(self, case14):
         scns = monte_carlo_ensemble(n=10, sigma=0.08, seed=12)
