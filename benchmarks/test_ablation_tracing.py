@@ -57,8 +57,12 @@ MODES = ("off", "metrics", "metrics+trace")
 def _run_once(executor, mode: str):
     net = load_case(CASE)
     scenarios = monte_carlo_ensemble(n=N_SCENARIOS, sigma=0.05, seed=42)
+    # ac_mode="cold" pins the per-scenario solve path: this ablation
+    # measures the per-scenario span/metrics machinery, which the warm
+    # AC kernel (one chunk-level span per batch) deliberately bypasses.
     runner = BatchStudyRunner(
-        analysis="powerflow", executor=executor, chunk_size=CHUNK, window=WINDOW
+        analysis="powerflow", executor=executor, chunk_size=CHUNK, window=WINDOW,
+        ac_mode="cold",
     )
     registry = MetricsRegistry(enabled=(mode != "off"))
     previous = set_metrics(registry)

@@ -64,16 +64,23 @@ def run_n_minus_1(
     overload_threshold: float = 100.0,
     n_jobs: int = 1,
     base_result: PowerFlowResult | None = None,
+    kernel=None,
 ) -> NMinus1Report:
     """Sweep single-branch outages and report post-contingency stress.
 
     ``branch_ids`` restricts the sweep (used by DC screening); by default
     every in-service branch is outaged once.  The input network is left
-    untouched — all work happens on copies.
+    untouched — all work happens on copies.  ``kernel`` accepts an
+    :class:`~repro.powerflow.ac_batch.AcKernel` for the same topology:
+    its cached base solve then seeds the sweep (no fresh base Newton run)
+    and its voltage warm-starts every outage solve, which is what makes
+    repeated sweeps over one operating point cheap.
     """
     start = time.perf_counter()
     work = net.copy()
 
+    if base_result is None and kernel is not None:
+        base_result = kernel.base_result()
     base = base_result or solve_newton(work)
     if not base.converged:
         raise ValueError(
@@ -185,9 +192,10 @@ def analyze_single_outage(
         if not res.converged:
             # The paper's recovery behaviour: fall back through alternative
             # algorithms before declaring the contingency non-convergent.
+            # The base voltage threads through every rung that takes one.
             from ..powerflow.recovery import solve_with_recovery
 
-            res, _ = solve_with_recovery(net, tol=1e-6)
+            res, _ = solve_with_recovery(net, tol=1e-6, v0=v_base)
     finally:
         net.set_branch_status(branch_id, True)
 

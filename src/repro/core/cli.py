@@ -127,6 +127,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     study.add_argument("--jobs", type=int, default=1, help="worker processes")
     study.add_argument(
+        "--ac-mode",
+        choices=("warm", "cold"),
+        default="warm",
+        help="powerflow studies: 'warm' routes injection-only chunks "
+        "through the topology-cached AC kernel (warm-started Newton + "
+        "fast-decoupled correctors); 'cold' forces the legacy "
+        "per-scenario solve",
+    )
+    study.add_argument(
         "--progress",
         action="store_true",
         help="print live per-chunk progress to stderr (implied on a TTY)",
@@ -508,7 +517,10 @@ def run_study(args) -> int:
             slice_by = resolve_slice_by(args.slice_by, args.kind, n_zones=args.zones)
             net, scenarios = _build_study_scenarios(args)
             runner = BatchStudyRunner(
-                analysis=args.analysis, n_jobs=args.jobs, slice_by=slice_by
+                analysis=args.analysis,
+                n_jobs=args.jobs,
+                slice_by=slice_by,
+                ac_mode=getattr(args, "ac_mode", "warm"),
             )
             study = runner.run(
                 net, scenarios, progress=progress, keep_results=args.keep_results
@@ -855,6 +867,16 @@ def _render_top_frame(sampler, monitor, report) -> str:
             f"batch kernels: solves {batch_solves:.0f}"
             f" | rows {batch_rows:.0f}"
             f" | rows/s {'-' if row_rate is None else f'{row_rate:.1f}'}"
+        )
+
+    ac_warm = sampler.counter_value("gridmind_ac_warm_solves_total")
+    ac_skipped = sampler.counter_value("gridmind_ac_skipped_converged_total")
+    if ac_warm or ac_skipped:
+        warm_rate = sampler.rate("gridmind_ac_warm_solves_total")
+        lines.append(
+            f"ac kernels: warm solves {ac_warm or 0:.0f}"
+            f" | skipped-converged {ac_skipped or 0:.0f}"
+            f" | warm/s {'-' if warm_rate is None else f'{warm_rate:.1f}'}"
         )
 
     sessions = sampler.label_values("gridmind_session_chunks_total", "session")

@@ -131,6 +131,11 @@ class Network:
         # on every mutation so hot cache-lookup loops only re-serialise the
         # network when its content can actually have changed.
         self._content_hash_memo: tuple[int, str] | None = None
+        # (version, AdmittanceMatrices) memo maintained by
+        # powerflow.solution.make_admittances — same invalidation rule, so
+        # repeated AC solves of an unmodified network (recovery-ladder
+        # rungs, warm-started ensembles) stop rebuilding Ybus.
+        self._adm_memo: tuple[int, object] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -306,6 +311,7 @@ class Network:
         self._version += 1
         self._compiled = None
         self._content_hash_memo = None
+        self._adm_memo = None
 
     def set_load(self, bus: int, pd_mw: float, qd_mvar: float | None = None) -> Load:
         """Set the total load at ``bus``, creating a load if none exists.

@@ -5,9 +5,12 @@
 baselines.  ``solve_with_recovery`` implements the paper's automatic
 fallback behaviour (Section 3.2.1).  ``DcKernel`` is the batched DC
 physics kernel: one factorization per topology serving single solves,
-stacked multi-RHS batches, and PTDF sensitivities.
+stacked multi-RHS batches, and PTDF sensitivities.  ``AcKernel`` is its
+nonlinear counterpart: topology-cached admittances plus a base solve and
+fast-decoupled factorizations serving warm-started stacked AC chunks.
 """
 
+from .ac_batch import AcChunkSolution, AcKernel
 from .batch import DcBatch, DcKernel, DcSolution, dc_injections, topology_digest
 from .dc import solve_dc
 from .fast_decoupled import solve_fast_decoupled
@@ -17,6 +20,8 @@ from .recovery import solve_with_recovery
 from .solution import PowerFlowResult
 
 __all__ = [
+    "AcChunkSolution",
+    "AcKernel",
     "DcBatch",
     "DcKernel",
     "DcSolution",

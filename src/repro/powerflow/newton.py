@@ -162,17 +162,22 @@ def _newton_inner(
         # is far from the solution (heavy post-outage transfers).  Accept
         # the first step fraction that reduces the residual; fall back to
         # the smallest fraction if none do (this still escapes plateaus).
+        # Only the updated entries are snapshotted once per iteration —
+        # trial states are written in place over them, so the common case
+        # (full step accepted) no longer pays two full-array copies, and
+        # rejected fractions never duplicate the voltage vectors either.
+        dx_va = dx[: npv + npq]
+        dx_vm = dx[npv + npq :]
+        va_base = va[pvpq].copy()
+        vm_base = vm[pq].copy()
         accepted = False
         for alpha in (1.0, 0.5, 0.25, 0.125):
-            va_try = va.copy()
-            vm_try = vm.copy()
-            va_try[pvpq] += alpha * dx[: npv + npq]
-            vm_try[pq] += alpha * dx[npv + npq :]
-            v_try = vm_try * np.exp(1j * va_try)
-            f_try = mismatch_vec(v_try)
-            norm_try = float(np.max(np.abs(f_try))) if f_try.size else 0.0
+            va[pvpq] = va_base + alpha * dx_va
+            vm[pq] = vm_base + alpha * dx_vm
+            v = vm * np.exp(1j * va)
+            f = mismatch_vec(v)
+            norm_try = float(np.max(np.abs(f))) if f.size else 0.0
             if norm_try < norm or alpha == 0.125:
-                va, vm, v, f = va_try, vm_try, v_try, f_try
                 accepted = norm_try < norm
                 norm = norm_try
                 break

@@ -47,20 +47,23 @@ class RecoveryTrace:
 
 
 def solve_with_recovery(
-    net: Network, *, tol: float = 1e-8
+    net: Network, *, tol: float = 1e-8, v0=None
 ) -> tuple[PowerFlowResult, RecoveryTrace]:
     """Run the recovery ladder until a solver converges.
 
     Returns the first converged result (or the last failure) along with
-    the full trace of attempts for auditability.
+    the full trace of attempts for auditability.  ``v0`` threads a warm
+    start through every rung that accepts one — Newton, fast-decoupled,
+    and Gauss-Seidel all restart from it; the flat-start rung ignores it
+    by design (its whole point is escaping a poisoned initial guess).
     """
     trace = RecoveryTrace()
 
     ladder = (
-        ("newton", lambda: solve_newton(net, tol=tol)),
+        ("newton", lambda: solve_newton(net, tol=tol, v0=v0)),
         ("newton-flat", lambda: solve_newton(net, tol=max(tol, 1e-6), flat_start=True, max_iter=40)),
-        ("fdpf-xb", lambda: solve_fast_decoupled(net, tol=max(tol, 1e-6))),
-        ("gauss-seidel", lambda: solve_gauss_seidel(net, tol=max(tol, 1e-5), max_iter=3000)),
+        ("fdpf-xb", lambda: solve_fast_decoupled(net, tol=max(tol, 1e-6), v0=v0)),
+        ("gauss-seidel", lambda: solve_gauss_seidel(net, tol=max(tol, 1e-5), max_iter=3000, v0=v0)),
     )
 
     result: PowerFlowResult | None = None

@@ -159,6 +159,18 @@ def _allocate_generation(
 
 
 def make_admittances(net: Network) -> tuple[NetworkArrays, AdmittanceMatrices]:
-    """Compile the network and build its admittance operators in one step."""
+    """Compile the network and build its admittance operators in one step.
+
+    The admittance build is memoised behind the network's version counter
+    (the same invalidation rule as ``compile`` and the content-hash memo):
+    an unmodified network pays one Ybus construction however many solver
+    calls touch it — every rung of the recovery ladder, every warm-started
+    ensemble scenario, every N-1 base solve reuses the cached operators.
+    """
     arr = net.compile()
-    return arr, build_admittances(arr)
+    memo = getattr(net, "_adm_memo", None)
+    if memo is not None and memo[0] == net._version:
+        return arr, memo[1]
+    adm = build_admittances(arr)
+    net._adm_memo = (net._version, adm)
+    return arr, adm

@@ -51,6 +51,7 @@ import numpy as np
 
 from ..instrumentation.accounting import record_chunk, record_study
 from ..instrumentation.metrics import (
+    ITERATION_BUCKETS,
     MetricsRegistry,
     get_metrics,
     set_metrics,
@@ -64,6 +65,7 @@ from ..contingency.ranking import rank_critical_elements
 from ..contingency.screening import screen_dc, screen_dc_many
 from ..grid import graph as gridgraph
 from ..grid.network import Network
+from ..powerflow.ac_batch import AcKernel
 from ..powerflow.batch import DcKernel, topology_digest
 from .aggregate import (
     DEFAULT_SLICE_MAX_VALUES,
@@ -294,6 +296,21 @@ class StudyConfig:
     #: bit-identical either way (the ablation's point), so the store's
     #: spec hash excludes this knob exactly like the ``slice_*`` pair.
     batch_kernels: bool = True
+    #: AC ensemble mode for ``analysis="powerflow"``: "warm" routes
+    #: injection-only chunks through the topology-cached AC kernel
+    #: (vectorized warm-start screen, fast-decoupled correctors,
+    #: warm-started Newton polish); "cold" forces the exact legacy
+    #: per-scenario solve.  Excluded from the store's spec hash like
+    #: ``batch_kernels`` — the parity contract (identical converged
+    #: flags and violation sets, aggregates within 1e-6) means toggling
+    #: it must not mint a second store entry.
+    ac_mode: str = "warm"
+    #: Fast-decoupled corrector half-iteration sweeps the warm AC path
+    #: runs before the Newton polish (0 disables the corrector tier).
+    #: Sweeps are multi-RHS triangular solves — near-free next to a
+    #: Jacobian build — so the default runs enough of them that the
+    #: Newton polish usually reduces to a single mismatch check.
+    ac_fd_sweeps: int = 8
 
     def slice_spec(self) -> SliceSpec:
         return SliceSpec(by=tuple(self.slice_by), max_values=self.slice_max_values)
@@ -321,6 +338,7 @@ class _WorkerState:
         self.config = config
         self.factors_cache: dict[bytes, SensitivityFactors] = {}
         self.kernel_cache: dict[bytes, DcKernel] = {}
+        self.ac_kernel_cache: dict[bytes, AcKernel] = {}
         self.ca_cache = ContingencyCache()
 
     # ------------------------------------------------------------------
@@ -339,6 +357,25 @@ class _WorkerState:
                 self.kernel_cache.clear()
             kernel = DcKernel(arr)
             self.kernel_cache[key] = kernel
+        return kernel
+
+    def ac_kernel_for(self, net: Network) -> AcKernel:
+        """Warm-start :class:`AcKernel`, cached on the topology digest.
+
+        One base solve and one B'/B'' factorization pair per electrical
+        topology per worker — the whole injection-only AC ensemble warm
+        starts from this kernel's cached base voltage.  Capped like the
+        DC kernel cache (SuperLU objects are heavy and unpicklable, so
+        the cache is strictly worker-local).
+        """
+        arr = net.compile()
+        key = topology_digest(arr)
+        kernel = self.ac_kernel_cache.get(key)
+        if kernel is None:
+            if len(self.ac_kernel_cache) >= self.KERNEL_CACHE_MAX_ENTRIES:
+                self.ac_kernel_cache.clear()
+            kernel = AcKernel(net)
+            self.ac_kernel_cache[key] = kernel
         return kernel
 
     def factors_for(self, net: Network) -> SensitivityFactors:
@@ -366,22 +403,37 @@ class _WorkerState:
         Scenarios are grouped by whether they keep the base electrical
         topology: for the linear analyses, the injection-only group maps
         onto one topology digest (the base's) and is solved through the
-        batched kernels in one multi-RHS pass, while topology-changing
-        scenarios — and every scenario of the nonlinear analyses — take
-        the scalar per-scenario loop.  Chunk results come back in
-        submission order and are bit-identical to the scalar path.
+        batched kernels in one multi-RHS pass (bit-identical to the
+        scalar path); for ``analysis="powerflow"`` with ``ac_mode="warm"``
+        the injection-only group routes through the warm-start AC kernel
+        (parity contract, not bit-identity — Newton iterates are
+        path-dependent).  Topology-changing scenarios, rows the warm path
+        cannot converge, and every scenario of the other nonlinear
+        analyses take the scalar per-scenario loop.  Chunk results come
+        back in submission order either way.
         """
         cfg = self.config
+        fast_group = None
+        min_group = 2
         if (
             cfg.batch_kernels
             and cfg.analysis in ("dc", "screening")
             and len(scenarios) >= 2
         ):
+            fast_group = self._run_chunk_batched
+        elif cfg.analysis == "powerflow" and cfg.ac_mode == "warm":
+            # The warm path solves rows independently (the screen, the
+            # multi-RHS corrector sweeps, and the Newton polish never mix
+            # rows), so it engages even for singleton groups: a scenario's
+            # iterate path then depends only on the base case and its own
+            # injection, never on chunking — which is what keeps serial,
+            # pooled, and executor dispatch producing identical records.
+            fast_group = self._run_chunk_ac
+            min_group = 1
+        if fast_group is not None:
             batch_idx = [i for i, s in enumerate(scenarios) if s.injection_only]
-            if len(batch_idx) >= 2:
-                batched = self._run_chunk_batched(
-                    [scenarios[i] for i in batch_idx]
-                )
+            if len(batch_idx) >= min_group:
+                batched = fast_group([scenarios[i] for i in batch_idx])
                 if batched is not None:
                     out: list[ScenarioResult | None] = [None] * len(scenarios)
                     for i, r in zip(batch_idx, batched):
@@ -495,6 +547,110 @@ class _WorkerState:
             n_voltage_violations=n_volt,
         )
 
+    def _run_chunk_ac(
+        self, scenarios: list[Scenario]
+    ) -> list[ScenarioResult | None] | None:
+        """Evaluate an injection-only AC group through the warm kernel.
+
+        Returns ``None`` to signal "degrade the whole group to the scalar
+        loop" — when the base case is disconnected, the kernel cannot be
+        built, or the base Newton solve itself does not converge (no
+        voltage to warm-start from).  Individual rows degrade too: a
+        perturbation error gets the same error record the scalar path
+        would produce, and a row whose warm Newton polish fails comes
+        back as ``None`` so the caller reruns it through the exact cold
+        ladder (``solve_newton`` then ``solve_with_recovery``), making
+        error records byte-identical on both paths.
+        """
+        cfg = self.config
+        base = self.base
+        if not gridgraph.is_connected(base):
+            return None
+        try:
+            kernel = self.ac_kernel_for(base)
+            if not kernel.usable:
+                return None
+        except Exception:
+            return None
+
+        tick = time.perf_counter()
+        results: list[ScenarioResult | None] = [None] * len(scenarios)
+        rows: list[np.ndarray] = []
+        loads: list[tuple[np.ndarray, np.ndarray]] = []
+        live: list[int] = []
+        for i, scenario in enumerate(scenarios):
+            try:
+                sbus, pd, qd = scenario.ac_injection(base)
+                rows.append(sbus)
+                loads.append((pd, qd))
+                live.append(i)
+            except ScenarioError as exc:
+                results[i] = ScenarioResult(
+                    name=scenario.name, tags=dict(scenario.tags),
+                    converged=False, error=str(exc),
+                )
+            except Exception as exc:
+                results[i] = ScenarioResult(
+                    name=scenario.name, tags=dict(scenario.tags),
+                    converged=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+
+        metrics = get_metrics()
+        with get_tracer().span(
+            "chunk.ac_batch", analysis=cfg.analysis, n_scenarios=len(live)
+        ):
+            if live:
+                sol = kernel.solve_chunk(
+                    np.vstack(rows), fd_sweeps=cfg.ac_fd_sweeps
+                )
+                per_scn = (time.perf_counter() - tick) / len(live)
+                iters_hist = metrics.histogram(
+                    "gridmind_ac_newton_iterations",
+                    "Newton iterations per AC ensemble scenario",
+                    buckets=ITERATION_BUCKETS,
+                )
+                n_warm = 0
+                n_skipped = 0
+                for j, i in enumerate(live):
+                    if not sol.converged[j]:
+                        continue  # leave None: caller runs the cold ladder
+                    pd, qd = loads[j]
+                    res = kernel.finalize_row(
+                        sol.v[j], pd, qd,
+                        converged=True,
+                        iterations=int(sol.iterations[j]),
+                        norm=float(sol.norms[j]),
+                    )
+                    results[i] = self._pf_record(scenarios[i], res)
+                    results[i].solve_time_s = per_scn
+                    iters_hist.observe(float(sol.iterations[j]), mode="warm")
+                    if sol.skipped[j]:
+                        n_skipped += 1
+                    else:
+                        n_warm += 1
+                if n_warm:
+                    metrics.counter(
+                        "gridmind_ac_warm_solves_total",
+                        "AC ensemble rows solved warm through the kernel",
+                    ).inc(n_warm)
+                if n_skipped:
+                    metrics.counter(
+                        "gridmind_ac_skipped_converged_total",
+                        "AC ensemble rows already converged at the warm start",
+                    ).inc(n_skipped)
+
+        # Metric parity with the scalar loop for the rows handled here
+        # (error records and warm-converged rows); fallback rows bill
+        # themselves inside run_scenario.
+        counter = metrics.counter(
+            "gridmind_scenarios_total", "Scenario evaluations by outcome"
+        )
+        for r in results:
+            if r is not None:
+                counter.inc(analysis=cfg.analysis, converged=r.converged)
+        return results
+
     # ------------------------------------------------------------------
     def run_scenario(self, scenario: Scenario, **hints) -> ScenarioResult:
         with get_tracer().span("scenario.run", scenario=scenario.name) as span:
@@ -551,14 +707,11 @@ class _WorkerState:
             res, _trace = solve_with_recovery(net)
         return res
 
-    def _run_powerflow(self, net: Network, scenario: Scenario) -> ScenarioResult:
+    def _pf_record(self, scenario: Scenario, res) -> ScenarioResult:
+        """Reduce one converged AC result to a record — the single
+        reduction the scalar and warm-kernel paths share, so their
+        violation sets and aggregate fields agree by construction."""
         cfg = self.config
-        res = self._solve_pf(net)
-        if not res.converged:
-            return ScenarioResult(
-                name=scenario.name, tags=dict(scenario.tags),
-                converged=False, error=res.message or "power flow diverged",
-            )
         overloads = res.overloaded_branches(cfg.overload_threshold)
         violations = res.voltage_violations(cfg.vmin, cfg.vmax)
         return ScenarioResult(
@@ -572,6 +725,21 @@ class _WorkerState:
             overloaded_branches=[b for b, _pct in overloads],
             n_voltage_violations=len(violations),
         )
+
+    def _run_powerflow(self, net: Network, scenario: Scenario) -> ScenarioResult:
+        res = self._solve_pf(net)
+        if res.method == "newton":
+            get_metrics().histogram(
+                "gridmind_ac_newton_iterations",
+                "Newton iterations per AC ensemble scenario",
+                buckets=ITERATION_BUCKETS,
+            ).observe(float(res.iterations), mode="cold")
+        if not res.converged:
+            return ScenarioResult(
+                name=scenario.name, tags=dict(scenario.tags),
+                converged=False, error=res.message or "power flow diverged",
+            )
+        return self._pf_record(scenario, res)
 
     def _reduce_opf(self, scenario: Scenario, res) -> ScenarioResult:
         """Shared OPF-result reduction (DCOPF / ACOPF / SCOPF master)."""
@@ -893,12 +1061,22 @@ class BatchStudyRunner:
     #: Batched-kernel fast path for injection-only chunks of the linear
     #: analyses; off forces the scalar loop (the ablation baseline).
     batch_kernels: bool = True
+    #: Warm AC fast path for injection-only ``powerflow`` chunks
+    #: ("warm", the default) vs the exact legacy per-scenario solve
+    #: ("cold", the ablation baseline).
+    ac_mode: str = "warm"
+    #: Fast-decoupled corrector sweeps before the warm Newton polish.
+    ac_fd_sweeps: int = 8
 
     def config(self) -> StudyConfig:
         """The validated per-study knob bundle shipped to every worker."""
         if self.analysis not in ANALYSES:
             raise ValueError(
                 f"unknown analysis {self.analysis!r}; use one of {ANALYSES}"
+            )
+        if self.ac_mode not in ("warm", "cold"):
+            raise ValueError(
+                f"unknown ac_mode {self.ac_mode!r}; use 'warm' or 'cold'"
             )
         slice_by = self.slice_by
         if isinstance(slice_by, str):
@@ -915,6 +1093,8 @@ class BatchStudyRunner:
             slice_by=tuple(slice_by),
             slice_max_values=self.slice_max_values,
             batch_kernels=self.batch_kernels,
+            ac_mode=self.ac_mode,
+            ac_fd_sweeps=self.ac_fd_sweeps,
         )
         config.slice_spec()  # validate dimensions/cap before dispatch
         return config

@@ -48,15 +48,24 @@ class LoadVector:
     :class:`RenewableInjection` appends rows the way ``add_load`` appends
     components, so stochastic perturbations that draw one variate per
     load row see the same row count at the same point in the sequence.
+
+    Both the active (``pd_mw``) and reactive (``qd_mvar``) columns are
+    tracked: the DC fast path consumes only ``pd``, the AC ensemble
+    kernel needs the full complex injection.
     """
 
-    __slots__ = ("bus", "pd_mw", "in_service")
+    __slots__ = ("bus", "pd_mw", "qd_mvar", "in_service")
 
     def __init__(
-        self, bus: np.ndarray, pd_mw: np.ndarray, in_service: np.ndarray
+        self,
+        bus: np.ndarray,
+        pd_mw: np.ndarray,
+        qd_mvar: np.ndarray,
+        in_service: np.ndarray,
     ) -> None:
         self.bus = bus
         self.pd_mw = pd_mw
+        self.qd_mvar = qd_mvar
         self.in_service = in_service
 
     @classmethod
@@ -64,15 +73,17 @@ class LoadVector:
         return cls(
             bus=np.array([ld.bus for ld in net.loads], dtype=np.int64),
             pd_mw=np.array([ld.pd_mw for ld in net.loads], dtype=float),
+            qd_mvar=np.array([ld.qd_mvar for ld in net.loads], dtype=float),
             in_service=np.array([ld.in_service for ld in net.loads], dtype=bool),
         )
 
     def __len__(self) -> int:
         return len(self.pd_mw)
 
-    def append(self, bus: int, pd_mw: float) -> None:
+    def append(self, bus: int, pd_mw: float, qd_mvar: float = 0.0) -> None:
         self.bus = np.append(self.bus, np.int64(bus))
         self.pd_mw = np.append(self.pd_mw, float(pd_mw))
+        self.qd_mvar = np.append(self.qd_mvar, float(qd_mvar))
         self.in_service = np.append(self.in_service, True)
 
     def bus_pd_pu(self, n_bus: int, base_mva: float) -> np.ndarray:
@@ -82,6 +93,13 @@ class LoadVector:
         live = self.in_service
         np.add.at(pd, self.bus[live], self.pd_mw[live] / base_mva)
         return pd
+
+    def bus_qd_pu(self, n_bus: int, base_mva: float) -> np.ndarray:
+        """Reactive counterpart of :meth:`bus_pd_pu` (same accumulation)."""
+        qd = np.zeros(n_bus)
+        live = self.in_service
+        np.add.at(qd, self.bus[live], self.qd_mvar[live] / base_mva)
+        return qd
 
 
 @dataclass(frozen=True)
@@ -130,6 +148,7 @@ class UniformLoadScale(Perturbation):
         if self.factor < 0:
             raise ScenarioError(f"load scale factor must be >= 0, got {self.factor}")
         loads.pd_mw *= self.factor
+        loads.qd_mvar *= self.factor
 
     def describe(self) -> str:
         return f"scale all loads x{self.factor:g}"
@@ -159,7 +178,9 @@ class PerBusLoadScale(Perturbation):
                 raise ScenarioError(f"bus {bus} does not exist in {net.name!r}")
             if factor < 0:
                 raise ScenarioError(f"bus {bus}: scale factor must be >= 0")
-            loads.pd_mw[loads.bus == bus] *= factor
+            rows = loads.bus == bus
+            loads.pd_mw[rows] *= factor
+            loads.qd_mvar[rows] *= factor
 
     def describe(self) -> str:
         inner = ", ".join(f"bus {b} x{f:g}" for b, f in self.factors)
@@ -199,6 +220,7 @@ class GaussianLoadNoise(Perturbation):
         # the row count exactly as the object path does.
         factors = np.maximum(0.0, 1.0 + rng.normal(0.0, self.sigma, len(loads)))
         loads.pd_mw *= factors
+        loads.qd_mvar *= factors
 
     def describe(self) -> str:
         return f"gaussian load noise sigma={self.sigma:g} seed={self.seed}"
@@ -246,6 +268,7 @@ class ZonalLoadScale(Perturbation):
             [self.factors[net.zone_index(int(b), z)] for b in loads.bus], dtype=float
         )
         loads.pd_mw *= per_row
+        loads.qd_mvar *= per_row
 
     def describe(self) -> str:
         inner = ", ".join(f"{f:g}" for f in self.factors)
@@ -311,7 +334,7 @@ class RenewableInjection(Perturbation):
             raise ScenarioError(f"bus {self.bus} does not exist in {net.name!r}")
         if self.p_mw < 0:
             raise ScenarioError(f"injection must be >= 0 MW, got {self.p_mw}")
-        loads.append(self.bus, -self.p_mw)
+        loads.append(self.bus, -self.p_mw, -self.q_mvar)
 
     def describe(self) -> str:
         return f"inject {self.p_mw:g} MW renewable at bus {self.bus}"
@@ -350,6 +373,20 @@ class Scenario:
         i.e. the scenario keeps the base electrical topology."""
         return all(p.injection_only for p in self.perturbations)
 
+    def _replay_loads(self, base: Network) -> LoadVector:
+        """Run every perturbation's vectorized form against a load view."""
+        loads = LoadVector.from_network(base)
+        for pert in self.perturbations:
+            try:
+                pert.apply_to_loads(base, loads)
+            except ScenarioError:
+                raise
+            except (IndexError, ValueError) as exc:
+                raise ScenarioError(
+                    f"scenario {self.name!r}: {pert.describe()} failed: {exc}"
+                ) from exc
+        return loads
+
     def injection_vector(self, base: Network) -> np.ndarray:
         """DC injection vector (p.u.) of the realized scenario, without
         realizing it.
@@ -361,19 +398,29 @@ class Scenario:
         dispatch is untouched by construction.
         """
         arr = base.compile()
-        loads = LoadVector.from_network(base)
-        for pert in self.perturbations:
-            try:
-                pert.apply_to_loads(base, loads)
-            except ScenarioError:
-                raise
-            except (IndexError, ValueError) as exc:
-                raise ScenarioError(
-                    f"scenario {self.name!r}: {pert.describe()} failed: {exc}"
-                ) from exc
+        loads = self._replay_loads(base)
         p = -loads.bus_pd_pu(arr.n_bus, base.base_mva)
         np.add.at(p, arr.gen_bus, arr.pg0)
         return p
+
+    def ac_injection(self, base: Network) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Complex AC injection of the realized scenario, without realizing it.
+
+        Returns ``(sbus, pd, qd)`` in p.u.: the scheduled complex bus
+        injections plus the per-bus load vectors the compiled snapshot
+        would carry.  Bit-identical to ``bus_power_injections`` (and
+        ``arr.pd`` / ``arr.qd``) of the realized network for
+        injection-only scenarios — the AC ensemble kernel solves against
+        ``sbus`` and finalizes against ``pd``/``qd`` with no
+        ``net.copy()`` + ``compile()`` anywhere.
+        """
+        arr = base.compile()
+        loads = self._replay_loads(base)
+        pd = loads.bus_pd_pu(arr.n_bus, base.base_mva)
+        qd = loads.bus_qd_pu(arr.n_bus, base.base_mva)
+        sbus = -(pd + 1j * qd)
+        np.add.at(sbus, arr.gen_bus, arr.pg0 + 1j * arr.qg0)
+        return sbus, pd, qd
 
     def describe(self) -> str:
         if not self.perturbations:

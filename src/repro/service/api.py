@@ -145,6 +145,13 @@ class StudyRequest(BaseModel):
         le=512,
         description="per-dimension cardinality cap (overflow folds into __other__)",
     )
+    ac_mode: str = Field(
+        default="warm",
+        description="AC solve strategy: 'warm' batches injection-only "
+        "powerflow chunks through the topology-cached AC kernel, 'cold' "
+        "runs the legacy per-scenario solver (results agree under the "
+        "parity contract; excluded from the store spec hash)",
+    )
 
 
 class StudyReply(BaseModel):

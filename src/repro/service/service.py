@@ -291,6 +291,7 @@ class GridMindService:
             executor=self.executor,
             slice_by=slice_by,
             slice_max_values=request.slice_max_values,
+            ac_mode=request.ac_mode,
         )
         tracer = get_tracer()
         with tracer.span(

@@ -93,13 +93,17 @@ def spec_hash(config: StudyConfig, scenarios: list[Scenario]) -> str:
     payload — and keys minted before slicing existed keep matching.
     ``batch_kernels`` is excluded for the same reason: the batched and
     scalar paths produce bit-identical records, so toggling the fast
-    path must not mint a second store entry.
+    path must not mint a second store entry.  ``ac_mode``/``ac_fd_sweeps``
+    are excluded likewise — the warm AC path's parity contract makes the
+    two modes the same study.  (``ac_budget`` stays hashed: it changes
+    which outages get AC-verified, i.e. the results themselves.)
     """
+    excluded = ("batch_kernels", "ac_mode", "ac_fd_sweeps")
     canon = {
         "config": {
             k: v
             for k, v in dataclasses.asdict(config).items()
-            if not k.startswith("slice_") and k != "batch_kernels"
+            if not k.startswith("slice_") and k not in excluded
         },
         "scenarios": [
             {

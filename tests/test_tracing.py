@@ -392,8 +392,11 @@ _LAYERS = {"study.run", "worker.chunk", "scenario.run", "solve.newton"}
 
 def _traced_study(case, *, n_jobs=1, executor=None, n=4):
     scenarios = load_sweep(0.95, 1.05, n)
+    # ac_mode="cold" pins the per-scenario solve path: these tests assert
+    # the scenario/solver span plumbing the warm AC kernel (one
+    # chunk.ac_batch span per group) deliberately bypasses.
     runner = BatchStudyRunner(
-        analysis="powerflow", n_jobs=n_jobs, executor=executor
+        analysis="powerflow", n_jobs=n_jobs, executor=executor, ac_mode="cold"
     )
     with tracing() as tracer:
         study = runner.run(case, scenarios)
@@ -476,9 +479,9 @@ class TestStudyTracePropagation:
 
     def test_study_metrics_merge_from_workers(self, case14, fresh_metrics):
         with StudyExecutor(max_workers=2) as executor:
-            BatchStudyRunner(analysis="powerflow", executor=executor).run(
-                case14, load_sweep(0.95, 1.05, 4)
-            )
+            BatchStudyRunner(
+                analysis="powerflow", executor=executor, ac_mode="cold"
+            ).run(case14, load_sweep(0.95, 1.05, 4))
         m = get_metrics()
         assert m.counter("gridmind_scenarios_total").total() == 4.0
         assert m.counter("gridmind_solver_invocations_total").total() == 4.0
@@ -594,8 +597,11 @@ class TestServiceTracing:
             async with GridMindService(
                 max_workers=2, store_dir=str(tmp_path), trace=True
             ) as svc:
+                # ac_mode="cold": this test asserts the per-scenario span
+                # layers the warm AC kernel deliberately collapses.
                 reply = await svc.run_study(StudyRequest(
                     case_name="ieee14", kind="sweep", n_scenarios=4,
+                    ac_mode="cold",
                 ))
                 ask = await svc.ask("a", "Solve the IEEE 14 bus case")
                 spans = svc.tracer.spans()
@@ -652,7 +658,8 @@ class TestTraceCLI:
 
         store = ResultStore(tmp_path)
         scenarios = load_sweep(0.95, 1.05, 3)
-        runner = BatchStudyRunner(analysis="powerflow")
+        # ac_mode="cold": the rendered report asserts per-scenario spans.
+        runner = BatchStudyRunner(analysis="powerflow", ac_mode="cold")
         with tracing() as tracer:
             with tracer.span("study.run"):
                 study = runner.run(case14, scenarios)
